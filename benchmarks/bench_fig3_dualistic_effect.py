@@ -1,0 +1,82 @@
+"""Fig. 3(b)/(c) — dualistic vs standard convolution, both domains.
+
+(b) Time domain: a standard convolution *smooths away* a short anomaly;
+    the dualistic convolution extends and preserves it.
+(c) Frequency domain: the standard convolution's latent stays near the
+    spectrum's body; the dualistic convolution's latent sits near the tail
+    (picks extreme components), so anomalous (high-variance) spectra are
+    harder to reconstruct — quantified via Definition 1's gap.
+"""
+
+import numpy as np
+
+from common import run_once, save_results
+from repro.core import DualisticConv1d, dualistic_conv_numpy
+from repro.eval import format_table
+from repro.frequency import empirical_latent_gap
+from repro.nn import Tensor
+
+
+def compute():
+    rng = np.random.default_rng(0)
+
+    # --- time domain: spike retention -------------------------------------
+    signal = 0.3 * np.sin(2 * np.pi * np.arange(60) / 20)
+    signal[30] = 3.0  # one-point anomaly
+    kernel = np.full(5, 0.2)
+    standard = np.correlate(signal, kernel, "same")
+    dualistic = dualistic_conv_numpy(
+        np.pad(signal, 2, mode="edge"), 11, 5.0, kernel, stride=1
+    )
+    spike_standard = np.abs(standard[28:33]).max()
+    spike_dualistic = np.abs(dualistic[28:33]).max()
+    extension = int((np.abs(dualistic) > 1.0).sum())
+
+    # --- frequency domain: latent-to-spectrum gap -------------------------
+    normal_spectra = np.abs(rng.normal(1.0, 0.3, size=(4000, 5)))
+    anomalous_spectra = np.abs(rng.normal(1.3, 0.9, size=(4000, 5)))
+    alpha = np.full(5, 0.2)
+    gaps = {
+        "standard": (
+            np.abs(normal_spectra @ alpha - normal_spectra.T).mean(),
+            np.abs(anomalous_spectra @ alpha - anomalous_spectra.T).mean(),
+        ),
+        "dualistic": (
+            empirical_latent_gap(normal_spectra, alpha, 7) / 5,
+            empirical_latent_gap(anomalous_spectra, alpha, 7) / 5,
+        ),
+    }
+    return (spike_standard, spike_dualistic, extension), gaps
+
+
+def test_fig3_dualistic_effect(benchmark):
+    (spike_standard, spike_dualistic, extension), gaps = run_once(benchmark,
+                                                                  compute)
+    print()
+    print(format_table(
+        ("convolution", "spike magnitude after conv"),
+        [("standard", spike_standard), ("dualistic", spike_dualistic)],
+        title="Fig. 3(b) — time domain: effect on a 1-point anomaly (true 3.0)",
+    ))
+    print(f"dualistic conv extends the spike over {extension} samples")
+    print()
+    rows = [
+        (name, normal_gap, anomaly_gap, anomaly_gap / normal_gap)
+        for name, (normal_gap, anomaly_gap) in gaps.items()
+    ]
+    print(format_table(
+        ("convolution", "normal gap", "anomaly gap", "ratio"), rows,
+        title="Fig. 3(c) — frequency domain: latent-to-spectrum gap",
+    ))
+    save_results("fig3", {
+        "spike_standard": spike_standard,
+        "spike_dualistic": spike_dualistic,
+        "gaps": {k: list(v) for k, v in gaps.items()},
+    })
+    # Shape claims: dualistic preserves the spike better than standard conv
+    # smooths it, and widens the normal/anomaly gap ratio.
+    assert spike_dualistic > spike_standard
+    assert extension >= 4
+    standard_ratio = gaps["standard"][1] / gaps["standard"][0]
+    dualistic_ratio = gaps["dualistic"][1] / gaps["dualistic"][0]
+    assert dualistic_ratio > standard_ratio

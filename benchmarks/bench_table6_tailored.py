@@ -1,0 +1,89 @@
+"""Table VI — baselines tailored per service vs unified MACE.
+
+Baselines get the favourable setting the paper grants them (a fresh model
+per service, trained long enough to converge); MACE still uses ONE model
+per group.  The paper's shape: tailored baselines improve a lot on diverse
+datasets, and MACE stays competitive despite the 10-to-1 model handicap.
+"""
+
+from common import (
+    TABLE_DATASETS,
+    baseline_factory,
+    tailored_factory,
+    bench_dataset,
+    mace_factory,
+    run_once,
+    save_results,
+    scale_params,
+)
+from repro.data import tailored_singletons, unified_groups
+from repro.eval import format_table, run_tailored, run_unified
+
+PAPER_F1 = {
+    "DCdetector": {"smd": 0.872, "j-d1": 0.748, "j-d2": 0.913, "smap": 0.970},
+    "AnomalyTransformer": {"smd": 0.923, "j-d1": 0.645, "j-d2": 0.896,
+                           "smap": 0.967},
+    "DVGCRN": {"smd": 0.915, "j-d1": 0.479, "j-d2": 0.723, "smap": 0.914},
+    "JumpStarter": {"smd": 0.923, "j-d1": 0.933, "j-d2": 0.968, "smap": 0.526},
+    "OmniAnomaly": {"smd": 0.728, "j-d1": 0.905, "j-d2": 0.958, "smap": 0.744},
+    "MSCRED": {"smd": 0.716, "j-d1": 0.889, "j-d2": 0.958, "smap": 0.923},
+    "TranAD": {"smd": 0.961, "j-d1": 0.349, "j-d2": 0.817, "smap": 0.892},
+    "ProS": {"smd": 0.206, "j-d1": 0.506, "j-d2": 0.821, "smap": 0.509},
+    "VAE": {"smd": 0.255, "j-d1": 0.385, "j-d2": 0.763, "smap": 0.648},
+    "MACE": {"smd": 0.910, "j-d1": 0.934, "j-d2": 0.961, "smap": 0.977},
+}
+
+METHODS = ("DCdetector", "AnomalyTransformer", "DVGCRN", "JumpStarter",
+           "OmniAnomaly", "MSCRED", "TranAD", "ProS", "VAE")
+
+
+def compute_table():
+    params = scale_params()
+    results = {}
+    for dataset_name in TABLE_DATASETS:
+        dataset = bench_dataset(dataset_name)
+        singles = tailored_singletons(dataset, limit=params["tailored_limit"])
+        per_method = {}
+        for method in METHODS:
+            per_method[method] = run_tailored(tailored_factory(method), singles)
+        per_method["MACE"] = run_unified(
+            mace_factory(), unified_groups(dataset, params["group_size"])
+        )
+        results[dataset_name] = per_method
+    return results
+
+
+def test_table6_tailored(benchmark):
+    results = run_once(benchmark, compute_table)
+    print()
+    measured = {}
+    for dataset_name, per_method in results.items():
+        rows = []
+        measured[dataset_name] = {}
+        for method, outcome in per_method.items():
+            measured[dataset_name][method] = {
+                "precision": outcome.precision,
+                "recall": outcome.recall,
+                "f1": outcome.f1,
+            }
+            rows.append((method, outcome.precision, outcome.recall,
+                         outcome.f1, PAPER_F1[method][dataset_name]))
+        print(format_table(
+            ("method", "precision", "recall", "F1", "paper F1"), rows,
+            title=(f"Table VI [{dataset_name}] — baselines tailored/service, "
+                   f"MACE unified/group"),
+        ))
+        print()
+    save_results("table6", {"measured": measured, "paper": PAPER_F1})
+
+    # Shape: MACE's single model stays within reach of the best tailored
+    # baseline on every dataset (the paper reports "comparable"; on SMD the
+    # tailored baselines may edge ahead, as in the paper).
+    for dataset_name, per_method in results.items():
+        best_tailored = max(
+            outcome.f1 for method, outcome in per_method.items()
+            if method != "MACE"
+        )
+        assert per_method["MACE"].f1 >= best_tailored - 0.18, (
+            f"{dataset_name}: MACE not competitive with tailored baselines"
+        )

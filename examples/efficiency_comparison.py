@@ -1,0 +1,59 @@
+"""Efficiency: train-time, inference-time and memory across detectors.
+
+Reproduces the Fig. 6(a) methodology at example scale: all methods run on
+the same NumPy substrate and the same workload, so the *relative* costs are
+meaningful — frequency-domain MACE vs a recurrent model (OmniAnomaly), an
+attention model (TranAD) and the cheap VAE yardstick.
+
+Run:  python examples/efficiency_comparison.py
+"""
+
+import time
+
+from repro.baselines import (
+    BaselineConfig,
+    OmniAnomalyDetector,
+    TranAdDetector,
+    VaeDetector,
+)
+from repro.core import MaceConfig, MaceDetector
+from repro.data import load_dataset
+from repro.eval import format_table, profile_call
+
+
+def main() -> None:
+    dataset = load_dataset("smd", num_services=6, train_length=1024,
+                           test_length=1024)
+    ids = [s.service_id for s in dataset]
+    trains = [s.train for s in dataset]
+    probe = dataset[0]
+
+    config = BaselineConfig(epochs=3)
+    detectors = {
+        "MACE": MaceDetector(MaceConfig(epochs=3)),
+        "VAE": VaeDetector(config),
+        "OmniAnomaly (recurrent)": OmniAnomalyDetector(config),
+        "TranAD (attention)": TranAdDetector(config),
+    }
+
+    rows = []
+    for name, detector in detectors.items():
+        fit_profile = profile_call(detector.fit, ids, trains)
+        started = time.perf_counter()
+        detector.score(probe.service_id, probe.test)
+        inference = time.perf_counter() - started
+        rows.append((name, fit_profile.wall_seconds, inference,
+                     fit_profile.peak_memory_mb))
+
+    rows.sort(key=lambda row: row[1])
+    print(format_table(
+        ("detector", "train s", "inference s", "peak MB"), rows,
+        title="efficiency on one 6-service group (same substrate)",
+    ))
+    print("\nNote: the recurrent model cannot parallelise across time steps"
+          "\n(paper C2); MACE's frequency representation has no temporal"
+          "\ndependency, which is where its speed advantage comes from.")
+
+
+if __name__ == "__main__":
+    main()

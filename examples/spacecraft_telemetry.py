@@ -1,0 +1,75 @@
+"""Spacecraft telemetry: point-anomaly detection (the SMAP scenario).
+
+SMAP-like data is dominated by one-to-three-point spikes, which
+encoder-decoder models notoriously smooth over (paper §I, C3).  This
+example contrasts MACE with a plain VAE on the same telemetry and shows
+the dualistic convolution's contribution by toggling the stage-1 amplifier.
+
+Run:  python examples/spacecraft_telemetry.py
+"""
+
+import numpy as np
+
+from repro.baselines import BaselineConfig, VaeDetector
+from repro.core import MaceConfig, MaceDetector
+from repro.data import load_dataset
+from repro.eval import best_f1_threshold, format_table
+
+
+def evaluate(detector, dataset):
+    """Average best-F1 over all channels (services) of the dataset."""
+    f1_scores = []
+    for service in dataset:
+        scores = detector.score(service.service_id, service.test)
+        f1_scores.append(
+            best_f1_threshold(scores, service.test_labels).metrics.f1
+        )
+    return float(np.mean(f1_scores))
+
+
+def main() -> None:
+    dataset = load_dataset("smap", num_services=6, train_length=1024,
+                           test_length=1024)
+    ids = [s.service_id for s in dataset]
+    trains = [s.train for s in dataset]
+    point_share = np.mean([
+        seg.kind.is_point for s in dataset for seg in s.segments
+    ])
+    print(f"{len(dataset)} telemetry channels, "
+          f"{point_share:.0%} of anomaly events are point anomalies\n")
+
+    rows = []
+
+    mace = MaceDetector(MaceConfig(epochs=5)).fit(ids, trains)
+    rows.append(("MACE (full)", evaluate(mace, dataset)))
+
+    no_amplifier = MaceDetector(
+        MaceConfig(epochs=5, use_time_amplifier=False)
+    ).fit(ids, trains)
+    rows.append(("MACE without time-domain dualistic conv",
+                 evaluate(no_amplifier, dataset)))
+
+    vae = VaeDetector(BaselineConfig(epochs=5)).fit(ids, trains)
+    rows.append(("VAE", evaluate(vae, dataset)))
+
+    print(format_table(("detector", "mean F1"), rows,
+                       title="point-anomaly detection on SMAP-like telemetry"))
+
+    # Show one detection in detail.
+    service = dataset[0]
+    scores = mace.score(service.service_id, service.test)
+    spikes = [seg for seg in service.segments if seg.kind.is_point]
+    if spikes:
+        segment = spikes[0]
+        window = slice(max(0, segment.start - 3), segment.stop + 3)
+        print(f"\nspike at t={segment.start}..{segment.stop} on "
+              f"{service.service_id}; scores around it:")
+        floor = np.median(scores)
+        for t in range(window.start, window.stop):
+            marker = " <-- anomaly" if service.test_labels[t] else ""
+            print(f"  t={t:4d} score={scores[t]:8.3f} "
+                  f"({scores[t] / floor:5.1f}x floor){marker}")
+
+
+if __name__ == "__main__":
+    main()

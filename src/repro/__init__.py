@@ -1,0 +1,24 @@
+"""Reproduction of MACE (ICDE 2024): multi-pattern frequency-domain TSAD.
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy autograd deep-learning substrate (replaces PyTorch).
+``repro.frequency``
+    DFT bases, context-aware DFT/IDFT, spectral statistics and the paper's
+    closed-form theory.
+``repro.data``
+    Synthetic multi-service dataset profiles with labelled anomalies.
+``repro.core``
+    MACE itself: dualistic convolution, pattern extraction, model, trainer
+    and the high-level :class:`~repro.core.detector.MaceDetector`.
+``repro.baselines``
+    Nine comparison methods on a shared detector API.
+``repro.eval``
+    Metrics, point-adjust protocol, POT thresholding, experiment protocols
+    and profiling.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Module entry point: ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.
+        sys.stderr.close()
+        raise SystemExit(141)

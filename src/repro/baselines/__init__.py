@@ -1,0 +1,49 @@
+"""Baseline detectors compared against MACE (paper §V-A).
+
+All expose the :class:`~repro.core.detector.AnomalyDetector` API.  Each is a
+documented "lite" reimplementation that preserves the original method's
+defining mechanism and cost profile; see each module's docstring and
+DESIGN.md §2 for what was reduced.
+"""
+
+from repro.baselines.anomaly_transformer import AnomalyTransformerDetector
+from repro.baselines.base import BaselineConfig, NeuralWindowDetector
+from repro.baselines.dcdetector import DcDetector
+from repro.baselines.dvgcrn import DvgcrnDetector
+from repro.baselines.jumpstarter import JumpStarterDetector
+from repro.baselines.lstm_ndt import LstmNdtDetector, ndt_threshold
+from repro.baselines.mscred import MscredDetector
+from repro.baselines.omni import OmniAnomalyDetector
+from repro.baselines.pros import ProsDetector
+from repro.baselines.tranad import TranAdDetector
+from repro.baselines.vae import VaeDetector
+
+ALL_BASELINES = {
+    "DCdetector": DcDetector,
+    "AnomalyTransformer": AnomalyTransformerDetector,
+    "DVGCRN": DvgcrnDetector,
+    "JumpStarter": JumpStarterDetector,
+    "OmniAnomaly": OmniAnomalyDetector,
+    "MSCRED": MscredDetector,
+    "TranAD": TranAdDetector,
+    "ProS": ProsDetector,
+    "VAE": VaeDetector,
+    "LSTM-NDT": LstmNdtDetector,
+}
+
+__all__ = [
+    "BaselineConfig",
+    "NeuralWindowDetector",
+    "AnomalyTransformerDetector",
+    "DcDetector",
+    "DvgcrnDetector",
+    "JumpStarterDetector",
+    "LstmNdtDetector",
+    "ndt_threshold",
+    "MscredDetector",
+    "OmniAnomalyDetector",
+    "ProsDetector",
+    "TranAdDetector",
+    "VaeDetector",
+    "ALL_BASELINES",
+]

@@ -1,0 +1,124 @@
+"""Shared machinery for the baseline detectors.
+
+Every neural baseline follows the same recipe: slide windows, train a
+window model on pooled data from all fitted services (this pooling is
+exactly why unified training hurts them on diverse patterns — unlike MACE
+they carry no per-service memory), then score test windows and average the
+per-timestep errors into a timeline.  Subclasses provide the model, its
+loss, and its per-timestep error.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.detector import AnomalyDetector
+from repro.core.scoring import timeline_scores
+from repro.data.windows import WindowDataset
+from repro.nn import no_grad
+from repro.nn.modules.base import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+__all__ = ["BaselineConfig", "NeuralWindowDetector"]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Training hyperparameters shared by the neural baselines."""
+
+    window: int = 40
+    epochs: int = 5
+    batch_size: int = 64
+    train_stride: int = 4
+    learning_rate: float = 1e-3
+    grad_clip: float = 5.0
+    score_stride: int = 1
+    score_batch: int = 256
+    seed: int = 0
+
+
+class NeuralWindowDetector(AnomalyDetector):
+    """Template-method base class for window-reconstruction baselines."""
+
+    name = "neural-baseline"
+
+    def __init__(self, config: BaselineConfig | None = None):
+        self.config = config if config is not None else BaselineConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.model: Module | None = None
+        self.epoch_losses: list = []
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_model(self, num_features: int) -> Module:
+        """Construct the window model for ``num_features`` channels."""
+
+    @abc.abstractmethod
+    def model_loss(self, model: Module, windows: Tensor,
+                   service_id: str) -> Tensor:
+        """Training loss for a ``(B, T, m)`` window batch of one service."""
+
+    @abc.abstractmethod
+    def window_errors(self, model: Module, windows: np.ndarray,
+                      service_id: str) -> np.ndarray:
+        """Per-timestep anomaly scores ``(B, T)`` (called with grads off)."""
+
+    # ------------------------------------------------------------------
+    # AnomalyDetector API
+    # ------------------------------------------------------------------
+    def fit(self, service_ids: Sequence[str],
+            train_series: Sequence[np.ndarray]) -> "NeuralWindowDetector":
+        if not train_series:
+            raise ValueError("fit needs at least one service")
+        num_features = np.atleast_2d(train_series[0]).shape[-1]
+        self.model = self.build_model(num_features)
+        dataset = WindowDataset(train_series, list(service_ids),
+                                self.config.window, self.config.train_stride)
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        self.model.train()
+        for _ in range(self.config.epochs):
+            epoch_loss, batches = 0.0, 0
+            for batch in dataset.batches(self.config.batch_size, self.rng):
+                optimizer.zero_grad()
+                loss = self.model_loss(self.model, Tensor(batch.windows),
+                                       batch.service_id)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            self.epoch_losses.append(epoch_loss / max(batches, 1))
+        self.model.eval()
+        return self
+
+    def score(self, service_id: str, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return timeline_scores(
+            lambda windows: self._batched_errors(windows, service_id),
+            series, self.config.window, self.config.score_stride,
+        )
+
+    def _batched_errors(self, windows: np.ndarray,
+                        service_id: str) -> np.ndarray:
+        model = self._require_fitted()
+        pieces = []
+        with no_grad():
+            for start in range(0, windows.shape[0], self.config.score_batch):
+                chunk = windows[start:start + self.config.score_batch]
+                pieces.append(self.window_errors(model, chunk, service_id))
+        return np.concatenate(pieces, axis=0)
+
+    def num_parameters(self) -> int:
+        return self._require_fitted().num_parameters()
+
+    def _require_fitted(self) -> Module:
+        if self.model is None:
+            raise RuntimeError(f"{self.name} is not fitted; call fit() first")
+        return self.model

@@ -1,0 +1,97 @@
+"""DCdetector-lite (Yang et al., KDD 2023).
+
+The original learns permutation-invariant representations with a dual
+attention design — a patch-wise branch and an in-patch branch — trained
+purely contrastively (no reconstruction): on normal data the two branches'
+attention distributions agree, so at test time their discrepancy is the
+anomaly score.  This reduction keeps the dual branch + pure contrastive KL
+structure with single attention blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, NeuralWindowDetector
+from repro.nn.modules.attention import MultiheadSelfAttention
+from repro.nn.modules.base import Module
+from repro.nn.modules.linear import Linear
+from repro.nn.tensor import Tensor
+
+__all__ = ["DcDetectorModel", "DcDetector"]
+
+
+class DcDetectorModel(Module):
+    """Dual-branch attention producing two per-timestep distributions."""
+
+    def __init__(self, window: int, num_features: int, dim: int = 16,
+                 heads: int = 4, patch: int = 5,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if window % patch:
+            raise ValueError("window must divide evenly into patches")
+        self.patch = patch
+        self.window = window
+        self.embed_point = Linear(num_features, dim, rng=rng)
+        self.embed_patch = Linear(num_features * patch, dim, rng=rng)
+        self.point_attention = MultiheadSelfAttention(dim, heads, rng=rng)
+        self.patch_attention = MultiheadSelfAttention(dim, heads, rng=rng)
+
+    def forward(self, windows: Tensor):
+        batch, window, features = windows.shape
+        point_embedded = self.embed_point(windows)
+        _, point_assoc = self.point_attention(point_embedded,
+                                              return_attention=True)
+        patches = windows.reshape(batch, window // self.patch,
+                                  self.patch * features)
+        patch_embedded = self.embed_patch(patches)
+        _, patch_assoc = self.patch_attention(patch_embedded,
+                                              return_attention=True)
+        return point_assoc, patch_assoc
+
+    def aligned_distributions(self, point_assoc, patch_assoc):
+        """Upsample the patch attention rows to per-timestep resolution.
+
+        Returns two stochastic row distributions of shape ``(B, H, T, T)``.
+        """
+        expand = self.patch
+        upsampled = np.repeat(np.repeat(patch_assoc, expand, axis=-2),
+                              expand, axis=-1) / expand
+        return upsampled
+
+
+class DcDetector(NeuralWindowDetector):
+    """DCdetector-lite on the shared detector API."""
+
+    name = "DCdetector"
+
+    def __init__(self, config: BaselineConfig | None = None, dim: int = 16,
+                 heads: int = 4, patch: int = 5):
+        super().__init__(config)
+        self.dim = dim
+        self.heads = heads
+        self.patch = patch
+
+    def build_model(self, num_features: int) -> Module:
+        return DcDetectorModel(self.config.window, num_features, self.dim,
+                               self.heads, self.patch, rng=self.rng)
+
+    def _discrepancy_tensor(self, model, windows: Tensor) -> Tensor:
+        """Differentiable symmetric KL between the two branch distributions."""
+        point_assoc, patch_assoc = model(windows)
+        upsampled = Tensor(
+            np.clip(model.aligned_distributions(None, patch_assoc.data), 1e-8, 1.0)
+        )
+        point_safe = point_assoc.clip(1e-8, 1.0)
+        kl_forward = (point_safe * (point_safe.log() - upsampled.log())).sum(axis=-1)
+        kl_backward = (upsampled * (upsampled.log() - point_safe.log())).sum(axis=-1)
+        return (kl_forward + kl_backward).mean(axis=1)  # (B, T)
+
+    def model_loss(self, model: Module, windows: Tensor,
+                   service_id: str) -> Tensor:
+        # Pure contrastive objective: branches must agree on normal data.
+        return self._discrepancy_tensor(model, windows).mean()
+
+    def window_errors(self, model: Module, windows: np.ndarray,
+                      service_id: str) -> np.ndarray:
+        return self._discrepancy_tensor(model, Tensor(windows)).data

@@ -1,0 +1,84 @@
+"""VAE baseline (Kingma & Welling, 2014) — the classical reference point.
+
+A dense variational autoencoder over flattened windows; reconstruction
+error is the anomaly score.  The paper uses it as the low-cost yardstick in
+the efficiency study (Fig. 6a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineConfig, NeuralWindowDetector
+from repro.nn import functional as F
+from repro.nn.modules.activations import ReLU
+from repro.nn.modules.base import Module
+from repro.nn.modules.linear import Linear
+from repro.nn.tensor import Tensor
+
+__all__ = ["VaeModel", "VaeDetector"]
+
+
+class VaeModel(Module):
+    """Dense VAE over flattened ``(B, T*m)`` windows."""
+
+    def __init__(self, window: int, num_features: int, hidden: int = 64,
+                 latent: int = 8, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.window = window
+        self.num_features = num_features
+        flat = window * num_features
+        self.enc1 = Linear(flat, hidden, rng=rng)
+        self.enc_mu = Linear(hidden, latent, rng=rng)
+        self.enc_logvar = Linear(hidden, latent, rng=rng)
+        self.dec1 = Linear(latent, hidden, rng=rng)
+        self.dec2 = Linear(hidden, flat, rng=rng)
+        self.act = ReLU()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def encode(self, flat: Tensor):
+        hidden = self.act(self.enc1(flat))
+        return self.enc_mu(hidden), self.enc_logvar(hidden).clip(-8.0, 8.0)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.dec2(self.act(self.dec1(z)))
+
+    def forward(self, windows: Tensor):
+        batch = windows.shape[0]
+        flat = windows.reshape(batch, -1)
+        mu, logvar = self.encode(flat)
+        noise = Tensor(self._rng.normal(size=mu.shape)) if self.training else 0.0
+        z = mu + (logvar * 0.5).exp() * noise if self.training else mu
+        reconstruction = self.decode(z)
+        return reconstruction, flat, mu, logvar
+
+
+class VaeDetector(NeuralWindowDetector):
+    """VAE on the shared detector API."""
+
+    name = "VAE"
+
+    def __init__(self, config: BaselineConfig | None = None, hidden: int = 64,
+                 latent: int = 8, beta: float = 1e-2):
+        super().__init__(config)
+        self.hidden = hidden
+        self.latent = latent
+        self.beta = beta
+
+    def build_model(self, num_features: int) -> Module:
+        return VaeModel(self.config.window, num_features, self.hidden,
+                        self.latent, rng=self.rng)
+
+    def model_loss(self, model: Module, windows: Tensor,
+                   service_id: str) -> Tensor:
+        reconstruction, flat, mu, logvar = model(windows)
+        recon = F.mse_loss(reconstruction, flat)
+        kl = F.kl_diag_gaussian(mu, logvar)
+        return recon + self.beta * kl
+
+    def window_errors(self, model: Module, windows: np.ndarray,
+                      service_id: str) -> np.ndarray:
+        reconstruction, flat, _, _ = model(Tensor(windows))
+        diff = (reconstruction.data - flat.data) ** 2
+        per_step = diff.reshape(windows.shape[0], self.config.window, -1)
+        return per_step.mean(axis=-1)

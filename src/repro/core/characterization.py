@@ -1,0 +1,85 @@
+"""Frequency characterization module (paper §IV-C, Fig. 4b).
+
+Concatenates the context-aware DFT coefficients with explicitly marked
+trigonometric bases — a channel carrying the frequency ω of each sine
+(imaginary) slot and a channel carrying the ω of each cosine (real) slot —
+then applies a three-channel convolution to produce the frequency
+representation.  Marking the bases is what tells the shared network *which*
+subspace a sample was projected onto, i.e. how the unified model stays aware
+of each service's normal pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frequency.context_aware import ServiceSubspace
+from repro.nn.modules.activations import Tanh
+from repro.nn.modules.base import Module
+from repro.nn.modules.conv import Conv1d
+from repro.nn.tensor import Tensor, stack
+
+__all__ = ["frequency_marker_channels", "FrequencyCharacterization"]
+
+
+def frequency_marker_channels(subspace: ServiceSubspace) -> np.ndarray:
+    """Build the sin/cos marker channels for a subspace.
+
+    Returns ``(2, m, 2k)``: channel 0 marks sine (imaginary) coefficient
+    slots with their frequency ω, channel 1 marks cosine (real) slots.
+    """
+    frequencies = subspace.frequencies  # (m, k)
+    m, k = frequencies.shape
+    markers = np.zeros((2, m, 2 * k))
+    markers[0, :, 1::2] = frequencies  # sine slots (imaginary parts)
+    markers[1, :, 0::2] = frequencies  # cosine slots (real parts)
+    return markers
+
+
+class FrequencyCharacterization(Module):
+    """Three-channel convolution over (coefficients, sin-ω, cos-ω).
+
+    Input coefficients ``(N, m, 2k)`` plus a subspace; output representation
+    ``(N * m, channels, 2k)``.  The output is bounded by ``tanh`` so the
+    downstream high-power dualistic convolutions stay numerically stable
+    (the role σ plays in the paper).
+
+    With ``use_markers=False`` (Table IX "Frequency Characterization"
+    ablation) the ω channels are dropped and a single-channel convolution is
+    used.
+    """
+
+    def __init__(self, channels: int = 8, kernel_size: int = 3,
+                 use_markers: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("characterization kernel must be odd")
+        self.channels = channels
+        self.use_markers = use_markers
+        in_channels = 3 if use_markers else 1
+        self.conv = Conv1d(in_channels, channels, kernel_size,
+                           padding=kernel_size // 2, rng=rng)
+        self.activation = Tanh()
+        self._marker_cache: dict = {}
+
+    def _markers(self, subspace: ServiceSubspace) -> np.ndarray:
+        key = id(subspace)
+        if key not in self._marker_cache:
+            self._marker_cache[key] = frequency_marker_channels(subspace)
+        return self._marker_cache[key]
+
+    def forward(self, coeffs: Tensor, subspace: ServiceSubspace) -> Tensor:
+        n, m, width = coeffs.shape
+        flat = coeffs.reshape(n * m, 1, width)
+        if self.use_markers:
+            markers = self._markers(subspace)  # (2, m, 2k)
+            tiled = np.broadcast_to(markers[:, None], (2, n, m, width))
+            tiled = tiled.reshape(2, n * m, width)
+            channels = [flat]
+            channels.append(Tensor(tiled[0][:, None, :]))
+            channels.append(Tensor(tiled[1][:, None, :]))
+            from repro.nn.tensor import concatenate
+
+            flat = concatenate(channels, axis=1)  # (N*m, 3, 2k)
+        return self.activation(self.conv(flat))

@@ -1,0 +1,103 @@
+"""High-level detector API shared by MACE and every baseline.
+
+``AnomalyDetector`` is the contract the evaluation protocols run against:
+
+* ``fit(service_ids, train_series)`` — train once, possibly on many
+  services (the unified-model setting);
+* ``prepare_service(service_id, train_series)`` — calibrate for a service
+  unseen during ``fit`` (transfer setting); default is a no-op;
+* ``score(service_id, series)`` — per-timestamp anomaly scores, higher
+  means more anomalous.
+
+Thresholding is *not* part of the detector: the evaluation layer applies
+either the best-F1 sweep or POT (``repro.eval.thresholds``), exactly as the
+baseline papers do.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import MaceConfig
+from repro.core.scoring import timeline_scores
+from repro.core.trainer import MaceTrainer
+
+__all__ = ["AnomalyDetector", "MaceDetector"]
+
+
+class AnomalyDetector(abc.ABC):
+    """Contract for all detectors in this repository."""
+
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def fit(self, service_ids: Sequence[str],
+            train_series: Sequence[np.ndarray]) -> "AnomalyDetector":
+        """Train the detector on the given services' normal data."""
+
+    @abc.abstractmethod
+    def score(self, service_id: str, series: np.ndarray) -> np.ndarray:
+        """Per-timestamp anomaly scores for a test series."""
+
+    def prepare_service(self, service_id: str, train_series: np.ndarray) -> None:
+        """Calibrate for a service unseen at fit time (default: no-op)."""
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class MaceDetector(AnomalyDetector):
+    """MACE with the full pipeline behind the common detector API.
+
+    Example
+    -------
+    >>> from repro.core import MaceConfig, MaceDetector
+    >>> from repro.data import load_dataset
+    >>> dataset = load_dataset("smd", num_services=2,
+    ...                        train_length=512, test_length=512)
+    >>> detector = MaceDetector(MaceConfig(epochs=1))
+    >>> detector = detector.fit([s.service_id for s in dataset],
+    ...                         [s.train for s in dataset])
+    >>> scores = detector.score(dataset[0].service_id, dataset[0].test)
+    >>> scores.shape
+    (512,)
+    """
+
+    name = "MACE"
+
+    def __init__(self, config: MaceConfig | None = None,
+                 score_stride: int = 1):
+        self.config = config if config is not None else MaceConfig()
+        self.score_stride = score_stride
+        self.trainer: MaceTrainer | None = None
+
+    def fit(self, service_ids: Sequence[str],
+            train_series: Sequence[np.ndarray]) -> "MaceDetector":
+        self.trainer = MaceTrainer(self.config)
+        self.trainer.fit(service_ids, train_series)
+        return self
+
+    def prepare_service(self, service_id: str, train_series: np.ndarray) -> None:
+        self._require_fitted().prepare_service(service_id, train_series)
+
+    def score(self, service_id: str, series: np.ndarray) -> np.ndarray:
+        trainer = self._require_fitted()
+        return timeline_scores(
+            lambda windows: trainer.window_errors(service_id, windows),
+            series, self.config.window, self.score_stride,
+        )
+
+    @property
+    def history(self):
+        return self._require_fitted().history
+
+    def num_parameters(self) -> int:
+        return self._require_fitted().model.num_parameters()
+
+    def _require_fitted(self) -> MaceTrainer:
+        if self.trainer is None:
+            raise RuntimeError("detector is not fitted; call fit() first")
+        return self.trainer

@@ -1,0 +1,223 @@
+"""Dualistic convolution (paper §IV-B, Eq. 2).
+
+``DualisticConv(x) = (Conv(x^γ / σ, s))^{1/γ}`` with odd γ.  The *peak*
+branch uses γ as-is and emphasises upward deviations; the *valley* branch
+emphasises downward deviations.  The paper defines the valley branch via a
+negative odd power, which is singular at zero on real telemetry; our default
+implements it as the peak convolution of the negated signal
+(``-Peak(-x)``), which is symmetric, bounded and preserves Eq. 2's behaviour
+on constants.  The literal variant is available as ``valley_mode =
+"negative_gamma"`` (with an ε-clamp) for completeness.
+
+Two deployment regimes (paper §IV-B):
+
+* time domain — stride 1, fixed uniform kernel: a weighted summation that
+  *extends* a short anomaly across the kernel span (Fig. 3b);
+* frequency domain — stride = kernel length, learnable kernel inside the
+  autoencoder: approximates per-segment max/min pooling of amplitudes
+  (Fig. 4a), hindering anomaly reconstruction (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor, odd_power, odd_root
+
+__all__ = [
+    "dualistic_conv_numpy",
+    "DualisticConv1d",
+    "TimeDomainAmplifier",
+]
+
+
+def dualistic_conv_numpy(x: np.ndarray, gamma: int, sigma: float,
+                         kernel: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Reference NumPy implementation of Eq. 2 for a 1-D signal.
+
+    Used by tests and the Fig. 3 benches; the autograd module below must
+    agree with it (tested).
+    """
+    if gamma % 2 == 0 or gamma == 0:
+        raise ValueError("gamma must be a non-zero odd integer")
+    x = np.asarray(x, dtype=float)
+    kernel = np.asarray(kernel, dtype=float)
+    powered = np.sign(x) * np.abs(x) ** gamma / sigma
+    length = x.size - kernel.size + 1
+    out = np.empty((length - 1) // stride + 1)
+    for row, start in enumerate(range(0, length, stride)):
+        value = float(powered[start:start + kernel.size] @ kernel)
+        out[row] = np.sign(value) * np.abs(value) ** (1.0 / gamma)
+    return out
+
+
+class DualisticConv1d(Module):
+    """Channel-mixing dualistic convolution layer.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel_size, stride:
+        As in a standard ``Conv1d``.
+    gamma:
+        Odd power γ ≥ 1.  γ = 1 degrades to a standard convolution
+        (the Table IX / Fig. 6b ablation path).
+    sigma:
+        Positive scaling factor stabilising the powered values.
+    mode:
+        ``"peak"`` or ``"valley"`` (valley = ``-peak(-x)`` by default).
+    shift:
+        Positivity offset ``c``: the op computes
+        ``(Conv((x + c)^γ / σ))^{1/γ} − c`` (mirrored for valley).  This is
+        essential: Eq. 2's operator is *odd*, so without a shift
+        ``-peak(-x)`` collapses to ``peak(x)`` and the two branches would be
+        identical.  With ``c`` large enough to keep ``x + c > 0`` the peak
+        branch approximates a per-window max and the valley branch a
+        per-window min (Fig. 4a), which is the stated intent.  ``shift = 0``
+        recovers the raw Eq. 2 operator (dominated by the largest
+        *magnitude* regardless of direction).
+    valley_mode:
+        ``"negated"`` (default) or ``"negative_gamma"`` (literal Eq. 2 with
+        γ < −1 and an ε-clamped magnitude).
+    learnable:
+        When False the kernel is a fixed uniform averaging kernel (the time
+        domain amplifier regime); when True the kernel is trained.  The
+        theory assumes non-negative kernel weights, so the learnable kernel
+        is used through its absolute value.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, gamma: int = 3, sigma: float = 5.0,
+                 mode: str = "peak", shift: float = 0.0,
+                 valley_mode: str = "negated",
+                 padding: int = 0, learnable: bool = True, eps: float = 1e-4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if gamma < 1 or gamma % 2 == 0:
+            raise ValueError("gamma must be a positive odd integer")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if mode not in ("peak", "valley"):
+            raise ValueError("mode must be 'peak' or 'valley'")
+        if valley_mode not in ("negated", "negative_gamma"):
+            raise ValueError("valley_mode must be 'negated' or 'negative_gamma'")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.gamma = gamma
+        self.sigma = sigma
+        self.mode = mode
+        self.shift = float(shift)
+        self.valley_mode = valley_mode
+        self.padding = padding
+        self.learnable = learnable
+        self.eps = eps
+        if learnable:
+            self.weight = Parameter(
+                np.abs(init.kaiming_uniform(
+                    (out_channels, in_channels, kernel_size), rng=rng))
+            )
+        else:
+            if in_channels != out_channels:
+                raise ValueError("fixed-kernel mode requires in == out channels")
+            # Depthwise uniform kernel expressed as a diagonal channel mixer.
+            weight = np.zeros((out_channels, in_channels, kernel_size))
+            for channel in range(in_channels):
+                weight[channel, channel, :] = 1.0 / kernel_size
+            self.register_buffer("fixed_weight", weight)
+
+    def _kernel(self) -> Tensor:
+        if self.learnable:
+            return self.weight.abs()
+        return Tensor(self.fixed_weight)
+
+    def forward(self, x: Tensor) -> Tensor:
+        sign = -1.0 if (self.mode == "valley" and self.valley_mode == "negated") else 1.0
+        gamma = float(self.gamma)
+        if self.mode == "valley" and self.valley_mode == "negative_gamma":
+            # Literal γ < −1: power the ε-clamped magnitude to −γ, keep sign.
+            clamped = x.abs().clip(self.eps, np.inf) * x.sign()
+            powered = odd_power(clamped, -gamma) * (1.0 / self.sigma)
+            conv = F.conv1d(powered, self._kernel(), stride=self.stride,
+                            padding=self.padding)
+            return odd_root(conv, -gamma)
+        kernel = self._kernel()
+        shifted = x * sign + self.shift
+        powered = odd_power(shifted, gamma) * (1.0 / self.sigma)
+        conv = F.conv1d(powered, kernel, stride=self.stride,
+                        padding=self.padding)
+        root = odd_root(conv, gamma)
+        if self.shift:
+            # The kernel mass and σ scale (x + c) multiplicatively before the
+            # root, so the shift must be removed at the same scale:
+            # root ≈ (max(x) + c) * (mass/σ)^{1/γ}.  A plain "- c" would leave
+            # a large DC offset on the output (fatal ahead of the DFT).
+            mass = np.abs(kernel.data).sum(axis=(1, 2))  # per out-channel
+            correction = self.shift * (mass / self.sigma) ** (1.0 / gamma)
+            root = root - Tensor(correction[None, :, None])
+        return root * sign
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"DualisticConv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, gamma={self.gamma}, "
+            f"sigma={self.sigma}, mode={self.mode!r})"
+        )
+
+
+class TimeDomainAmplifier(Module):
+    """Stage 1 of MACE: amplify anomalies before the frequency transform.
+
+    Applies depthwise peak and valley dualistic convolutions with stride 1
+    and a fixed uniform kernel, then averages them elementwise (paper §IV-A
+    stage 1).  "Same" padding keeps the window length unchanged.  With
+    ``gamma == 1`` the two branches coincide with a moving average and the
+    module degrades gracefully (ablation path).
+    """
+
+    def __init__(self, gamma: int = 11, sigma: float = 5.0, kernel_size: int = 5,
+                 shift: float = 0.0, blend: float = 0.3):
+        super().__init__()
+        if kernel_size % 2 == 0:
+            raise ValueError("time-domain kernel must be odd for same padding")
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError("blend must be in [0, 1]")
+        self.gamma = gamma
+        self.sigma = sigma
+        self.kernel_size = kernel_size
+        # Mixing weight between the original window and the dualistic
+        # envelope.  A full replacement (blend = 1) also amplifies ordinary
+        # noise excursions, which floods the reconstruction floor on
+        # point-anomaly-heavy noisy data (SMAP/MC); a 0.3 blend keeps the
+        # anomaly-extension property while preserving normality (Fig. 3b).
+        self.blend = blend
+        # shift = 0 uses the raw Eq. 2 operator: each window is dominated by
+        # its largest-magnitude sample (signed), which extends short
+        # anomalies and *preserves* high-frequency anomalous oscillations.
+        # A positive shift would turn the peak/valley average into a
+        # midrange filter that low-passes exactly the frequency anomalies
+        # the DFT path must see (verified by tests/benches).
+        self.peak = DualisticConv1d(
+            1, 1, kernel_size, stride=1, gamma=gamma, sigma=sigma, mode="peak",
+            shift=shift, padding=kernel_size // 2, learnable=False,
+        )
+        self.valley = DualisticConv1d(
+            1, 1, kernel_size, stride=1, gamma=gamma, sigma=sigma, mode="valley",
+            shift=shift, padding=kernel_size // 2, learnable=False,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``(N, T, m) -> (N, T, m)`` amplified windows."""
+        n, t, m = x.shape
+        flat = x.swapaxes(1, 2).reshape(n * m, 1, t)
+        amplified = (self.peak(flat) + self.valley(flat)) * 0.5
+        amplified = amplified.reshape(n, m, t).swapaxes(1, 2)
+        if self.blend >= 1.0:
+            return amplified
+        return x * (1.0 - self.blend) + amplified * self.blend

@@ -1,0 +1,187 @@
+"""The MACE model: four stages over one window batch (paper Fig. 2).
+
+1. amplify anomalies in the time domain (dualistic conv, stride 1);
+2. project onto the service's normal-pattern subspace (context-aware DFT)
+   and build the frequency representation (characterization module);
+3. reconstruct the representation with a dualistic-convolution autoencoder —
+   separate peak and valley branches;
+4. synthesise both branches back to the time domain (context-aware IDFT) and
+   keep, per time slot, the branch with the larger reconstruction error.
+
+The model's learnable weights are shared across every service; all
+service-specific state lives in the
+:class:`~repro.core.pattern_extraction.PatternExtractor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.core.characterization import FrequencyCharacterization
+from repro.core.dualistic import DualisticConv1d, TimeDomainAmplifier
+from repro.core.pattern_extraction import PatternExtractor
+from repro.nn import functional as F
+from repro.nn.modules.activations import LeakyReLU
+from repro.nn.modules.base import Module
+from repro.nn.modules.conv import Conv1d, ConvTranspose1d
+from repro.nn.tensor import Tensor, maximum, pad1d
+
+__all__ = ["MaceConfig", "MaceOutput", "MaceModel"]
+
+
+@dataclass(frozen=True)
+class MaceConfig:
+    """All MACE hyperparameters (paper Table IV, adapted to this scale).
+
+    Notes on defaults: the paper reports window 40 and subset size m = 20;
+    with a window of 40 the real spectrum has only 21 bins, so m = 20 is
+    nearly the full spectrum — at our scale ``num_bases = 10`` keeps the
+    subset genuinely sparse (≈ half the bins).  Both values are swept by the
+    Fig. 6(f) bench.
+    """
+
+    window: int = 40
+    num_bases: int = 10
+    channels: int = 8
+    gamma_time: int = 11
+    gamma_freq: int = 7
+    sigma_time: float = 5.0
+    sigma_freq: float = 5.0
+    kernel_time: int = 5
+    kernel_freq: int = 5
+    characterization_kernel: int = 3
+    amplifier_blend: float = 0.3
+    valley_mode: str = "negated"
+    # Ablation switches (Table IX rows)
+    use_time_amplifier: bool = True
+    use_dualistic_freq: bool = True
+    use_characterization_markers: bool = True
+    context_aware: bool = True
+    select_max_error: bool = True
+    # Training.  The paper trains with lr 1e-3 on full-size datasets; at
+    # this repository's reduced scale (fewer windows per epoch) a slightly
+    # higher rate with stride-2 windows reaches the same converged regime.
+    learning_rate: float = 3e-3
+    epochs: int = 5
+    batch_size: int = 64
+    train_stride: int = 4
+    grad_clip: float = 5.0
+    subspace_stride: int = 4
+    seed: int = 0
+
+    def ablate(self, **changes) -> "MaceConfig":
+        """Return a copy with the given fields changed (Table IX variants)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class MaceOutput:
+    """Forward-pass artefacts needed for both training and scoring."""
+
+    amplified: Tensor           # (N, T, m) stage-1 output (the recon target)
+    reconstruction_peak: Tensor   # (N, T, m)
+    reconstruction_valley: Tensor  # (N, T, m)
+
+    def branch_errors(self) -> tuple:
+        """Per-branch squared error averaged over features: two (N, T)."""
+        diff_peak = self.reconstruction_peak - self.amplified
+        diff_valley = self.reconstruction_valley - self.amplified
+        return (
+            (diff_peak * diff_peak).mean(axis=-1),
+            (diff_valley * diff_valley).mean(axis=-1),
+        )
+
+
+class _Branch(Module):
+    """One reconstruction branch (peak or valley) of the autoencoder."""
+
+    def __init__(self, config: MaceConfig, mode: str,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        channels = config.channels
+        gamma = config.gamma_freq if config.use_dualistic_freq else 1
+        self.kernel = config.kernel_freq
+        # The representation is tanh-bounded to [-1, 1]; shift = 2 keeps the
+        # powered values positive so peak/valley act as segment max/min
+        # pickers over the spectrum representation (Fig. 4a).
+        self.encoder = DualisticConv1d(
+            channels, 2 * channels, config.kernel_freq,
+            stride=config.kernel_freq, gamma=gamma, sigma=config.sigma_freq,
+            mode=mode, shift=2.0, valley_mode=config.valley_mode, rng=rng,
+        )
+        self.decoder = ConvTranspose1d(
+            2 * channels, channels, config.kernel_freq,
+            stride=config.kernel_freq, rng=rng,
+        )
+        self.activation = LeakyReLU(0.1)
+        self.head = Conv1d(channels, 1, 1, rng=rng)
+
+    def forward(self, representation: Tensor, width: int) -> Tensor:
+        """``(N*m, C, 2k) -> (N*m, 2k)`` reconstructed spectrum."""
+        remainder = representation.shape[-1] % self.kernel
+        padded = representation
+        if remainder:
+            padded = pad1d(representation, 0, self.kernel - remainder)
+        latent = self.encoder(padded)
+        decoded = self.activation(self.decoder(latent))
+        spectrum = self.head(decoded)  # (N*m, 1, padded_width)
+        return spectrum[:, 0, :width]
+
+
+class MaceModel(Module):
+    """Shared-weight MACE network; pair with a :class:`PatternExtractor`."""
+
+    def __init__(self, config: MaceConfig,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.config = config
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.amplifier = TimeDomainAmplifier(
+            config.gamma_time, config.sigma_time, config.kernel_time,
+            blend=config.amplifier_blend,
+        )
+        self.characterization = FrequencyCharacterization(
+            config.channels, config.characterization_kernel,
+            use_markers=config.use_characterization_markers, rng=rng,
+        )
+        self.peak_branch = _Branch(config, "peak", rng=rng)
+        self.valley_branch = _Branch(config, "valley", rng=rng)
+
+    def forward(self, windows: Tensor, extractor: PatternExtractor,
+                service_id: str) -> MaceOutput:
+        """Run all four stages for one service's window batch."""
+        if windows.ndim != 3:
+            raise ValueError("windows must be (N, T, m)")
+        amplified = (
+            self.amplifier(windows) if self.config.use_time_amplifier else windows
+        )
+        dft, idft = extractor.transforms(service_id)
+        subspace = extractor.subspace(service_id)
+        coeffs = dft(amplified)  # (N, m, 2k)
+        n, m, width = coeffs.shape
+        representation = self.characterization(coeffs, subspace)  # (N*m, C, 2k)
+
+        reconstructions = []
+        for branch in (self.peak_branch, self.valley_branch):
+            spectrum = branch(representation, width).reshape(n, m, width)
+            reconstructions.append(idft(spectrum))  # (N, T, m)
+        return MaceOutput(amplified, reconstructions[0], reconstructions[1])
+
+    def loss(self, output: MaceOutput) -> Tensor:
+        """Stage-4 objective: mean of the per-slot max-branch error."""
+        error_peak, error_valley = output.branch_errors()
+        if self.config.select_max_error:
+            combined = maximum(error_peak, error_valley)
+        else:
+            combined = (error_peak + error_valley) * 0.5
+        return combined.mean()
+
+    def timestep_errors(self, output: MaceOutput) -> np.ndarray:
+        """Anomaly score per window timestep, ``(N, T)`` (no grad)."""
+        error_peak, error_valley = output.branch_errors()
+        if self.config.select_max_error:
+            return np.maximum(error_peak.data, error_valley.data)
+        return 0.5 * (error_peak.data + error_valley.data)

@@ -1,0 +1,138 @@
+"""Pattern extraction: per-service subspaces + cached transform modules.
+
+This object is MACE's "memory": the neural weights are shared across every
+service, while the context-aware DFT/IDFT pair is looked up per service.
+Handling a previously unseen service only requires fitting its subspace
+(a cheap counting pass over its training windows) — no retraining — which is
+what powers the Table VIII transfer experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.frequency.basis import FourierBasis, num_rfft_bins
+from repro.frequency.context_aware import (
+    ContextAwareDFT,
+    ContextAwareIDFT,
+    ServiceSubspace,
+    SubspaceBank,
+    count_basis_incidence,
+)
+
+__all__ = ["PatternExtractor"]
+
+
+class PatternExtractor:
+    """Fit, store and serve per-service normal-pattern subspaces."""
+
+    def __init__(self, window: int, num_bases: int, stride: int = 1,
+                 include_dc: bool = True, context_aware: bool = True):
+        self.window = window
+        self.num_bases = num_bases
+        self.context_aware = context_aware
+        self.bank = SubspaceBank(window, num_bases, stride=stride,
+                                 include_dc=include_dc)
+        self._transforms: Dict[str, Tuple[ContextAwareDFT, ContextAwareIDFT]] = {}
+        # Per-service, per-feature basis-incidence counts; kept so
+        # update_service() can adapt subspaces incrementally.
+        self._counts: Dict[str, list] = {}
+
+    def fit(self, service_ids: Sequence[str],
+            train_series: Sequence[np.ndarray]) -> "PatternExtractor":
+        """Fit subspaces for a fleet of services."""
+        for service_id, series in zip(service_ids, train_series):
+            self.fit_service(service_id, series)
+        return self
+
+    def fit_service(self, service_id: str, series: np.ndarray) -> ServiceSubspace:
+        """Fit (or refit) one service; invalidates its cached transforms."""
+        if series.ndim == 1:
+            series = series[:, None]
+        if self.context_aware:
+            subspace = self.bank.fit_service(service_id, series)
+            from repro.frequency.context_aware import _sliding_windows
+
+            self._counts[service_id] = [
+                count_basis_incidence(
+                    _sliding_windows(series[:, f], self.window,
+                                     self.bank.stride),
+                    self.num_bases,
+                ).astype(float)
+                for f in range(series.shape[1])
+            ]
+        else:
+            # Ablation: vanilla DFT/IDFT over the complete spectrum.
+            subspace = ServiceSubspace.full_spectrum(self.window, series.shape[1])
+            self.bank.add(service_id, subspace)
+        self._transforms.pop(service_id, None)
+        return subspace
+
+    def update_service(self, service_id: str, new_series: np.ndarray,
+                       decay: float = 0.9) -> ServiceSubspace:
+        """Adapt a service's subspace to fresh normal data (pattern drift).
+
+        Incremental counterpart of :meth:`fit_service`: the stored
+        basis-incidence counts are exponentially decayed and the counts
+        from ``new_series``' windows are added, then the top bases are
+        re-selected.  Cheap (one counting pass), no gradient steps — the
+        streaming analogue of the paper's preprocessing stage.
+        """
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        if not self.context_aware:
+            return self.bank.get(service_id)
+        if new_series.ndim == 1:
+            new_series = new_series[:, None]
+        counts = self._counts.get(service_id)
+        if counts is None:
+            return self.fit_service(service_id, new_series)
+        from repro.frequency.context_aware import (
+            _sliding_windows,
+            select_dominant_bases,
+        )
+
+        bases = []
+        for feature in range(new_series.shape[1]):
+            windows = _sliding_windows(new_series[:, feature], self.window,
+                                       self.bank.stride)
+            fresh = count_basis_incidence(windows, self.num_bases)
+            counts[feature] = decay * counts[feature] + fresh
+            order = np.argsort(counts[feature], kind="stable")[::-1]
+            selected = [0] if self.bank.include_dc else []
+            for index in order:
+                if len(selected) >= min(self.num_bases,
+                                        num_rfft_bins(self.window)):
+                    break
+                if int(index) not in selected:
+                    selected.append(int(index))
+            bases.append(FourierBasis(self.window, sorted(selected)))
+        subspace = ServiceSubspace(bases)
+        self.bank.add(service_id, subspace)
+        self._transforms.pop(service_id, None)
+        return subspace
+
+    def subspace(self, service_id: str) -> ServiceSubspace:
+        return self.bank.get(service_id)
+
+    def transforms(self, service_id: str) -> Tuple[ContextAwareDFT, ContextAwareIDFT]:
+        """Cached, amplitude-normalised DFT/IDFT modules for a service."""
+        if service_id not in self._transforms:
+            subspace = self.bank.get(service_id)
+            self._transforms[service_id] = (
+                ContextAwareDFT(subspace, normalized=True),
+                ContextAwareIDFT(subspace, normalized=True),
+            )
+        return self._transforms[service_id]
+
+    def coefficient_width(self, service_id: str) -> int:
+        """Width ``2k`` of the coefficient vector for a service."""
+        return 2 * self.bank.get(service_id).k
+
+    def __contains__(self, service_id: str) -> bool:
+        return service_id in self.bank
+
+    def service_ids(self):
+        return self.bank.service_ids()

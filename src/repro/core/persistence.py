@@ -1,0 +1,62 @@
+"""Saving and loading fitted MACE detectors.
+
+A fitted detector is (i) the shared network weights, (ii) the per-service
+subspace bank, and (iii) the config.  Weights go to ``<stem>.npz`` via
+:mod:`repro.nn.serialization`; config + bank go to ``<stem>.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.detector import MaceDetector
+from repro.core.model import MaceConfig
+from repro.core.trainer import MaceTrainer
+from repro.frequency.context_aware import SubspaceBank
+from repro.nn.serialization import load_state, save_state
+
+__all__ = ["save_detector", "load_detector"]
+
+
+def save_detector(detector: MaceDetector, path: str | Path) -> Path:
+    """Persist a fitted detector; returns the JSON manifest path."""
+    trainer = detector.trainer
+    if trainer is None:
+        raise ValueError("detector is not fitted; nothing to save")
+    path = Path(path)
+    stem = path.with_suffix("")
+    weights_path = stem.with_suffix(".npz")
+    manifest_path = stem.with_suffix(".json")
+    save_state(trainer.model.state_dict(), weights_path)
+    manifest = {
+        "format": "repro.mace-detector.v1",
+        "config": dataclasses.asdict(detector.config),
+        "score_stride": detector.score_stride,
+        "subspaces": trainer.extractor.bank.to_dict(),
+        "weights_file": weights_path.name,
+    }
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_detector(path: str | Path) -> MaceDetector:
+    """Restore a detector saved by :func:`save_detector` (ready to score)."""
+    manifest_path = Path(path).with_suffix(".json")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != "repro.mace-detector.v1":
+        raise ValueError(f"unrecognised manifest format in {manifest_path}")
+    config = MaceConfig(**manifest["config"])
+    detector = MaceDetector(config, score_stride=manifest["score_stride"])
+    trainer = MaceTrainer(config)
+    trainer.model.load_state_dict(
+        load_state(manifest_path.parent / manifest["weights_file"])
+    )
+    trainer.model.eval()
+    bank = SubspaceBank.from_dict(manifest["subspaces"])
+    trainer.extractor.bank = bank
+    trainer.extractor._transforms.clear()
+    detector.trainer = trainer
+    return detector

@@ -1,0 +1,28 @@
+"""Turn per-window model errors into per-timestamp anomaly scores."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.windows import scores_to_timeline, sliding_windows
+
+__all__ = ["timeline_scores"]
+
+
+def timeline_scores(window_error_fn, series: np.ndarray, window: int,
+                    stride: int = 1) -> np.ndarray:
+    """Score every timestamp of ``series``.
+
+    ``window_error_fn`` maps a ``(W, T, m)`` window batch to ``(W, T)``
+    per-timestep errors; overlapping window contributions are averaged.
+    """
+    if series.ndim == 1:
+        series = series[:, None]
+    windows = sliding_windows(series, window, stride)
+    errors = window_error_fn(windows)
+    if errors.shape != (windows.shape[0], window):
+        raise ValueError(
+            f"window_error_fn returned {errors.shape}, expected "
+            f"{(windows.shape[0], window)}"
+        )
+    return scores_to_timeline(errors, series.shape[0], window, stride)

@@ -1,0 +1,99 @@
+"""Training loop for MACE (SGD on the stage-4 reconstruction error)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.model import MaceConfig, MaceModel
+from repro.core.pattern_extraction import PatternExtractor
+from repro.data.windows import WindowDataset
+from repro.nn import no_grad
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+__all__ = ["TrainingHistory", "MaceTrainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training diagnostics."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    grad_norms: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class MaceTrainer:
+    """Fit one (possibly unified) MACE model over a fleet of services."""
+
+    def __init__(self, config: MaceConfig):
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.model = MaceModel(config, rng=self.rng)
+        self.extractor = PatternExtractor(
+            config.window, config.num_bases, stride=config.subspace_stride,
+            context_aware=config.context_aware,
+        )
+        self.history = TrainingHistory()
+
+    def fit(self, service_ids: Sequence[str],
+            train_series: Sequence[np.ndarray]) -> "MaceTrainer":
+        """Train on the given services' (normal) training series."""
+        if len(service_ids) != len(train_series):
+            raise ValueError("service_ids and train_series must align")
+        self.extractor.fit(service_ids, train_series)
+        dataset = WindowDataset(
+            train_series, service_ids, self.config.window,
+            stride=self.config.train_stride,
+        )
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        self.model.train()
+        for _ in range(self.config.epochs):
+            epoch_loss = 0.0
+            epoch_norm = 0.0
+            batches = 0
+            for batch in dataset.batches(self.config.batch_size, self.rng):
+                optimizer.zero_grad()
+                output = self.model(Tensor(batch.windows), self.extractor,
+                                    batch.service_id)
+                loss = self.model.loss(output)
+                loss.backward()
+                epoch_norm += clip_grad_norm(self.model.parameters(),
+                                             self.config.grad_clip)
+                optimizer.step()
+                epoch_loss += float(loss.data)
+                batches += 1
+            self.history.epoch_losses.append(epoch_loss / max(batches, 1))
+            self.history.grad_norms.append(epoch_norm / max(batches, 1))
+        self.model.eval()
+        return self
+
+    def prepare_service(self, service_id: str, train_series: np.ndarray) -> None:
+        """Fit the subspace of a service unseen at training time.
+
+        No gradient step happens: the transfer protocol (Table VIII) only
+        calibrates the pattern memory on the new service's normal data.
+        """
+        self.extractor.fit_service(service_id, train_series)
+
+    def window_errors(self, service_id: str, windows: np.ndarray,
+                      batch_size: int = 256) -> np.ndarray:
+        """Per-window, per-timestep errors ``(W, T)`` with gradients off."""
+        if service_id not in self.extractor:
+            raise KeyError(
+                f"service {service_id!r} has no fitted subspace; call "
+                "fit() or prepare_service() first"
+            )
+        pieces = []
+        with no_grad():
+            for start in range(0, windows.shape[0], batch_size):
+                chunk = windows[start:start + batch_size]
+                output = self.model(Tensor(chunk), self.extractor, service_id)
+                pieces.append(self.model.timestep_errors(output))
+        return np.concatenate(pieces, axis=0)

@@ -1,0 +1,119 @@
+"""Dataset import/export: bring real telemetry, or persist generated data.
+
+``save_dataset``/``load_dataset_file`` round-trip a generated
+:class:`~repro.data.datasets.Dataset` through one ``.npz`` archive.
+``service_from_arrays`` wraps raw user arrays (e.g. parsed from CSV) into a
+:class:`~repro.data.generators.ServiceData` with the library's
+normalisation convention applied.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.anomalies import AnomalyKind, AnomalySegment
+from repro.data.datasets import Dataset, DatasetProfile
+from repro.data.generators import Normalizer, ServiceData
+
+__all__ = ["service_from_arrays", "save_dataset", "load_dataset_file"]
+
+
+def service_from_arrays(service_id: str, train: np.ndarray, test: np.ndarray,
+                        test_labels: np.ndarray | None = None,
+                        normalize: bool = True) -> ServiceData:
+    """Wrap raw arrays as a ``ServiceData`` (the detectors' input type).
+
+    ``train`` must be anomaly-free telemetry; ``test_labels`` may be omitted
+    for purely online use (zeros are stored).
+    """
+    train = np.atleast_2d(np.asarray(train, dtype=float))
+    test = np.atleast_2d(np.asarray(test, dtype=float))
+    if train.ndim != 2 or test.ndim != 2:
+        raise ValueError("train/test must be 2-D (time, features)")
+    if train.shape[1] != test.shape[1]:
+        raise ValueError("train and test must share the feature dimension")
+    if test_labels is None:
+        test_labels = np.zeros(test.shape[0], dtype=np.int64)
+    test_labels = np.asarray(test_labels).astype(np.int64).reshape(-1)
+    if test_labels.size != test.shape[0]:
+        raise ValueError("labels must align with the test split")
+    normalizer = Normalizer.fit(train)
+    if normalize:
+        train = normalizer.transform(train)
+        test = normalizer.transform(test)
+    segments = [
+        AnomalySegment(int(start), int(stop), AnomalyKind.LEVEL_SHIFT)
+        for start, stop in _runs(test_labels)
+    ]
+    return ServiceData(
+        service_id=service_id, train=train, test=test,
+        test_labels=test_labels, segments=segments, pattern=None,
+        normalizer=normalizer, metadata={"source": "user"},
+    )
+
+
+def _runs(labels: np.ndarray) -> List[tuple]:
+    padded = np.concatenate([[0], labels.astype(bool), [0]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    return [(changes[i], changes[i + 1]) for i in range(0, changes.size, 2)]
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write a dataset (all services + labels + profile) to one ``.npz``."""
+    path = Path(path)
+    payload: Dict[str, np.ndarray] = {}
+    manifest = {
+        "profile": {
+            key: value for key, value in vars(dataset.profile).items()
+        },
+        "services": [],
+    }
+    for index, service in enumerate(dataset.services):
+        payload[f"train_{index}"] = service.train
+        payload[f"test_{index}"] = service.test
+        payload[f"labels_{index}"] = service.test_labels
+        manifest["services"].append({
+            "service_id": service.service_id,
+            "segments": [
+                {"start": seg.start, "stop": seg.stop, "kind": seg.kind.value}
+                for seg in service.segments
+            ],
+            "mean": service.normalizer.mean.tolist(),
+            "std": service.normalizer.std.tolist(),
+        })
+    payload["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset_file(path: str | Path) -> Dataset:
+    """Read a dataset archive written by :func:`save_dataset`."""
+    with np.load(Path(path)) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode())
+        services = []
+        for index, meta in enumerate(manifest["services"]):
+            segments = [
+                AnomalySegment(item["start"], item["stop"],
+                               AnomalyKind(item["kind"]))
+                for item in meta["segments"]
+            ]
+            services.append(ServiceData(
+                service_id=meta["service_id"],
+                train=archive[f"train_{index}"],
+                test=archive[f"test_{index}"],
+                test_labels=archive[f"labels_{index}"],
+                segments=segments,
+                pattern=None,
+                normalizer=Normalizer(np.asarray(meta["mean"]),
+                                      np.asarray(meta["std"])),
+                metadata={"source": str(path)},
+            ))
+    profile = DatasetProfile(**manifest["profile"])
+    return Dataset(profile=profile, services=services)

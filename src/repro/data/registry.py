@@ -1,0 +1,29 @@
+"""Dataset registry: discoverable profiles, custom registration."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.data.datasets import PROFILES, Dataset, DatasetProfile, load_dataset
+
+__all__ = ["available_datasets", "register_profile", "get_profile"]
+
+
+def available_datasets() -> List[str]:
+    """Names accepted by :func:`repro.data.load_dataset`."""
+    return sorted(PROFILES)
+
+
+def register_profile(profile: DatasetProfile, overwrite: bool = False) -> None:
+    """Add a custom dataset profile to the registry."""
+    key = profile.name.lower()
+    if key in PROFILES and not overwrite:
+        raise KeyError(f"profile {profile.name!r} already registered")
+    PROFILES[key] = profile
+
+
+def get_profile(name: str) -> DatasetProfile:
+    key = name.lower()
+    if key not in PROFILES:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(PROFILES)}")
+    return PROFILES[key]

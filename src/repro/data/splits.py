@@ -1,0 +1,53 @@
+"""Experiment splits: unified groups, tailored singletons, transfer pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.data.datasets import Dataset
+from repro.data.generators import ServiceData
+
+__all__ = ["GroupSplit", "unified_groups", "tailored_singletons", "transfer_pair"]
+
+
+@dataclass(frozen=True)
+class GroupSplit:
+    """Services whose *training* data fits one model, plus the services whose
+    *test* data that model is evaluated on (identical for the unified
+    protocol, different for the transfer protocol)."""
+
+    train_services: Tuple[ServiceData, ...]
+    test_services: Tuple[ServiceData, ...]
+    name: str
+
+    @property
+    def size(self) -> int:
+        return len(self.train_services)
+
+
+def unified_groups(dataset: Dataset, group_size: int = 10) -> List[GroupSplit]:
+    """Paper §V-A: every ten subsets train one unified model."""
+    splits = []
+    for index, group in enumerate(dataset.groups(group_size)):
+        group = tuple(group)
+        splits.append(GroupSplit(group, group, f"{dataset.name}-group{index}"))
+    return splits
+
+
+def tailored_singletons(dataset: Dataset, limit: int | None = None) -> List[GroupSplit]:
+    """One model per service (how the baselines are run in Table VI)."""
+    services = dataset.services[:limit] if limit else dataset.services
+    return [
+        GroupSplit((service,), (service,), f"{dataset.name}-{service.service_id}")
+        for service in services
+    ]
+
+
+def transfer_pair(dataset: Dataset, group_size: int = 10) -> GroupSplit:
+    """Table VIII: train on group 0, test on the unseen group 1."""
+    groups = dataset.groups(group_size)
+    if len(groups) < 2:
+        raise ValueError("transfer protocol needs at least two groups")
+    return GroupSplit(tuple(groups[0]), tuple(groups[1]),
+                      f"{dataset.name}-transfer")

@@ -1,0 +1,63 @@
+"""Detection delay: how quickly each anomaly event is flagged.
+
+F1 treats all detections inside a segment equally; operators care how many
+points elapse before the first alert.  ``detection_delays`` reports, per
+ground-truth segment, the offset of the first triggered point (or None for
+a miss); ``DelayStats`` aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.eval.metrics import label_segments
+
+__all__ = ["DelayStats", "detection_delays", "delay_stats"]
+
+
+def detection_delays(predictions: np.ndarray,
+                     labels: np.ndarray) -> List[Optional[int]]:
+    """Per-segment delay of the first alert (None = segment missed).
+
+    A delay of 0 means the alert fired on the segment's first point.
+    Alerts *before* the segment do not count (they are false positives).
+    """
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must share shape")
+    delays: List[Optional[int]] = []
+    for start, stop in label_segments(labels):
+        hits = np.flatnonzero(predictions[start:stop])
+        delays.append(int(hits[0]) if hits.size else None)
+    return delays
+
+
+@dataclass(frozen=True)
+class DelayStats:
+    """Aggregate delay summary."""
+
+    num_segments: int
+    num_detected: int
+    mean_delay: float          # over detected segments; NaN if none
+    median_delay: float
+    max_delay: float
+
+    @property
+    def detection_rate(self) -> float:
+        return self.num_detected / max(self.num_segments, 1)
+
+
+def delay_stats(predictions: np.ndarray, labels: np.ndarray) -> DelayStats:
+    """Compute :class:`DelayStats` for one scored series."""
+    delays = detection_delays(predictions, labels)
+    detected = [d for d in delays if d is not None]
+    if detected:
+        array = np.asarray(detected, dtype=float)
+        return DelayStats(len(delays), len(detected), float(array.mean()),
+                          float(np.median(array)), float(array.max()))
+    return DelayStats(len(delays), 0, float("nan"), float("nan"),
+                      float("nan"))

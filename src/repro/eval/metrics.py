@@ -1,0 +1,103 @@
+"""Detection metrics: precision / recall / F1 with point adjustment.
+
+The point-adjust protocol (OmniAnomaly, and used by every baseline the
+paper compares against, including TranAD and DCdetector) treats a contiguous
+ground-truth anomaly segment as detected if *any* of its points is flagged;
+all points of the segment then count as true positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ConfusionCounts",
+    "DetectionMetrics",
+    "label_segments",
+    "point_adjust",
+    "confusion_counts",
+    "detection_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw TP/FP/FN/TN counts at a fixed threshold."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Precision / recall / F1 triple (paper Eq. 12-14)."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> tuple:
+        return (self.precision, self.recall, self.f1)
+
+    @classmethod
+    def from_counts(cls, counts: ConfusionCounts) -> "DetectionMetrics":
+        precision = counts.tp / max(counts.tp + counts.fp, 1)
+        recall = counts.tp / max(counts.tp + counts.fn, 1)
+        if precision + recall == 0:
+            return cls(0.0, 0.0, 0.0)
+        f1 = 2 * precision * recall / (precision + recall)
+        return cls(precision, recall, f1)
+
+
+def label_segments(labels: np.ndarray) -> list:
+    """Contiguous ``[start, stop)`` runs of positive labels."""
+    labels = np.asarray(labels).astype(bool)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    padded = np.concatenate([[False], labels, [False]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    return [(int(changes[i]), int(changes[i + 1])) for i in range(0, changes.size, 2)]
+
+
+def point_adjust(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Apply segment-level adjustment to point predictions.
+
+    Any hit inside a true segment marks the whole segment as detected.
+    Predictions outside true segments are left untouched (they become false
+    positives if set).
+    """
+    predictions = np.asarray(predictions).astype(bool).copy()
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must share shape")
+    for start, stop in label_segments(labels):
+        if predictions[start:stop].any():
+            predictions[start:stop] = True
+    return predictions
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray) -> ConfusionCounts:
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    tn = int(np.sum(~predictions & ~labels))
+    return ConfusionCounts(tp, fp, fn, tn)
+
+
+def detection_metrics(scores: np.ndarray, labels: np.ndarray, threshold: float,
+                      adjust: bool = True) -> DetectionMetrics:
+    """Threshold scores, optionally point-adjust, and compute P/R/F1."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share shape")
+    predictions = scores > threshold
+    if adjust:
+        predictions = point_adjust(predictions, labels)
+    return DetectionMetrics.from_counts(confusion_counts(predictions, labels))

@@ -1,0 +1,42 @@
+"""Wall-clock and peak-memory profiling for the efficiency comparison.
+
+Fig. 6(a) of the paper reports training-time and memory overhead per
+method.  Here every method runs on the same NumPy substrate and the same
+workload, so relative ordering is meaningful; memory is peak *Python*
+allocation measured with ``tracemalloc`` (the NumPy buffers dominate and
+are tracked by it).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ResourceProfile", "profile_call"]
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Outcome of profiling one call."""
+
+    wall_seconds: float
+    peak_memory_mb: float
+    result: object = None
+
+    def as_row(self) -> tuple:
+        return (self.wall_seconds, self.peak_memory_mb)
+
+
+def profile_call(fn: Callable, *args, **kwargs) -> ResourceProfile:
+    """Run ``fn`` once, measuring wall time and peak traced memory."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return ResourceProfile(elapsed, peak / (1024.0 * 1024.0), result)

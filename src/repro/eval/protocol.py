@@ -1,0 +1,154 @@
+"""Experiment protocols: unified, tailored, and transfer evaluation.
+
+These functions drive any :class:`~repro.core.detector.AnomalyDetector`
+through the paper's three settings:
+
+* **unified** (Table V) — one model per group of ten services;
+* **tailored** (Tables VI/VII) — one model per service;
+* **transfer** (Table VIII) — train on one group, score another.
+
+Each returns per-service metrics plus the dataset-level average, which is
+what the paper's tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.detector import AnomalyDetector
+from repro.data.generators import ServiceData
+from repro.data.splits import GroupSplit
+from repro.eval.metrics import DetectionMetrics
+from repro.eval.pot import pot_threshold
+from repro.eval.metrics import detection_metrics
+from repro.eval.thresholds import best_f1_threshold
+
+__all__ = [
+    "ServiceResult",
+    "ProtocolResult",
+    "evaluate_scores",
+    "run_split",
+    "run_unified",
+    "run_tailored",
+    "run_transfer",
+]
+
+DetectorFactory = Callable[[], AnomalyDetector]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Metrics for one service under one protocol."""
+
+    service_id: str
+    metrics: DetectionMetrics
+    threshold: float
+
+
+@dataclass
+class ProtocolResult:
+    """Aggregate of per-service results."""
+
+    detector_name: str
+    protocol: str
+    services: List[ServiceResult] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        return float(np.mean([s.metrics.precision for s in self.services]))
+
+    @property
+    def recall(self) -> float:
+        return float(np.mean([s.metrics.recall for s in self.services]))
+
+    @property
+    def f1(self) -> float:
+        return float(np.mean([s.metrics.f1 for s in self.services]))
+
+    @property
+    def f1_per_service(self) -> List[float]:
+        return [s.metrics.f1 for s in self.services]
+
+    def summary(self) -> DetectionMetrics:
+        return DetectionMetrics(self.precision, self.recall, self.f1)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolResult({self.detector_name}, {self.protocol}, "
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f}, "
+            f"n={len(self.services)})"
+        )
+
+
+def evaluate_scores(scores: np.ndarray, labels: np.ndarray,
+                    strategy: str = "best_f1") -> ServiceResult:
+    """Threshold scores by the chosen strategy and compute metrics."""
+    if strategy == "best_f1":
+        chosen = best_f1_threshold(scores, labels)
+        return ServiceResult("", chosen.metrics, chosen.threshold)
+    if strategy == "pot":
+        threshold = pot_threshold(scores)
+        return ServiceResult(
+            "", detection_metrics(scores, labels, threshold), threshold
+        )
+    raise ValueError(f"unknown threshold strategy {strategy!r}")
+
+
+def _score_and_evaluate(detector: AnomalyDetector, service: ServiceData,
+                        strategy: str) -> ServiceResult:
+    scores = detector.score(service.service_id, service.test)
+    outcome = evaluate_scores(scores, service.test_labels, strategy)
+    return ServiceResult(service.service_id, outcome.metrics, outcome.threshold)
+
+
+def run_split(factory: DetectorFactory, split: GroupSplit,
+              strategy: str = "best_f1", protocol: str = "unified",
+              prepare_unseen: bool = True) -> ProtocolResult:
+    """Fit one detector on a split's train services, evaluate its tests."""
+    detector = factory()
+    detector.fit(
+        [s.service_id for s in split.train_services],
+        [s.train for s in split.train_services],
+    )
+    trained_ids = {s.service_id for s in split.train_services}
+    result = ProtocolResult(detector.name, protocol)
+    for service in split.test_services:
+        if service.service_id not in trained_ids and prepare_unseen:
+            detector.prepare_service(service.service_id, service.train)
+        result.services.append(_score_and_evaluate(detector, service, strategy))
+    return result
+
+
+def run_unified(factory: DetectorFactory, groups: Sequence[GroupSplit],
+                strategy: str = "best_f1") -> ProtocolResult:
+    """Table V protocol: one model per group, averaged over all services."""
+    combined = None
+    for split in groups:
+        partial = run_split(factory, split, strategy, protocol="unified")
+        if combined is None:
+            combined = partial
+        else:
+            combined.services.extend(partial.services)
+    if combined is None:
+        raise ValueError("no groups supplied")
+    return combined
+
+
+def run_tailored(factory: DetectorFactory, singletons: Sequence[GroupSplit],
+                 strategy: str = "best_f1") -> ProtocolResult:
+    """Tables VI/VII baseline protocol: a fresh model per service."""
+    combined = ProtocolResult("", "tailored")
+    for split in singletons:
+        partial = run_split(factory, split, strategy, protocol="tailored")
+        combined.detector_name = partial.detector_name
+        combined.services.extend(partial.services)
+    return combined
+
+
+def run_transfer(factory: DetectorFactory, split: GroupSplit,
+                 strategy: str = "best_f1") -> ProtocolResult:
+    """Table VIII protocol: train on one group, test on the unseen group."""
+    return run_split(factory, split, strategy, protocol="transfer")

@@ -1,0 +1,67 @@
+"""Threshold-free ranking metrics: AUROC and AUPRC.
+
+Best-F1 and POT evaluate one operating point; AUROC/AUPRC summarise the
+whole score ranking (DCdetector and the TSAD benchmark of Schmidl et al.
+report both).  Implemented directly from sorted scores — no sklearn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auroc", "auprc", "precision_recall_curve"]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray):
+    scores = np.asarray(scores, dtype=float).reshape(-1)
+    labels = np.asarray(labels).astype(bool).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must share shape")
+    if labels.all() or not labels.any():
+        raise ValueError("labels must contain both classes")
+    return scores, labels
+
+
+def auroc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties receive the midrank, making the estimate exact for tied scores.
+    """
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # midranks for ties
+    sorted_scores = scores[order]
+    start = 0
+    for end in range(1, scores.size + 1):
+        if end == scores.size or sorted_scores[end] != sorted_scores[start]:
+            if end - start > 1:
+                ranks[order[start:end]] = 0.5 * (start + 1 + end)
+            start = end
+    num_pos = int(labels.sum())
+    num_neg = labels.size - num_pos
+    rank_sum = ranks[labels].sum()
+    u_statistic = rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def precision_recall_curve(scores: np.ndarray, labels: np.ndarray):
+    """Precision and recall at every distinct threshold, descending score."""
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(scores)[::-1]
+    sorted_labels = labels[order]
+    true_positives = np.cumsum(sorted_labels)
+    predicted = np.arange(1, scores.size + 1)
+    precision = true_positives / predicted
+    recall = true_positives / sorted_labels.sum()
+    # keep only the last entry of each tied-score block
+    distinct = np.flatnonzero(np.diff(scores[order], append=-np.inf))
+    return precision[distinct], recall[distinct]
+
+
+def auprc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the precision-recall curve (average-precision style)."""
+    precision, recall = precision_recall_curve(scores, labels)
+    recall = np.concatenate([[0.0], recall])
+    return float(np.sum(np.diff(recall) * precision))

@@ -1,0 +1,58 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every bench prints its table with these helpers so the output reads like
+the paper's tables (method rows, P/R/F1 columns) and EXPERIMENTS.md can be
+assembled by copy-paste.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_metrics_table", "paper_vs_measured"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Render an aligned monospace table."""
+    materialised: List[List[str]] = [[_stringify(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_metrics_table(results, title: str | None = None) -> str:
+    """Render ``ProtocolResult`` objects as a paper-style P/R/F1 table."""
+    rows = [
+        (r.detector_name, r.precision, r.recall, r.f1)
+        for r in results
+    ]
+    return format_table(("method", "precision", "recall", "F1"), rows, title)
+
+
+def paper_vs_measured(headers: Sequence[str],
+                      paper_rows: Sequence[Sequence],
+                      measured_rows: Sequence[Sequence],
+                      title: str | None = None) -> str:
+    """Interleave paper-reported and measured rows for EXPERIMENTS.md."""
+    rows = []
+    for paper, measured in zip(paper_rows, measured_rows):
+        rows.append(tuple(paper) + ("paper",))
+        rows.append(tuple(measured) + ("measured",))
+    return format_table(tuple(headers) + ("source",), rows, title)

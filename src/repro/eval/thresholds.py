@@ -1,0 +1,53 @@
+"""Threshold selection: best-F1 sweep and quantile rules.
+
+The best-F1 sweep is the evaluation convention of the compared papers
+(AnomalyTransformer, TranAD, DCdetector all report the best achievable F1
+over thresholds); POT (``repro.eval.pot``) is the deployment-style
+alternative the paper mentions for production use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.metrics import DetectionMetrics, detection_metrics
+
+__all__ = ["ThresholdResult", "candidate_thresholds", "best_f1_threshold",
+           "quantile_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """A chosen threshold and the metrics it achieves."""
+
+    threshold: float
+    metrics: DetectionMetrics
+
+
+def candidate_thresholds(scores: np.ndarray, count: int = 128) -> np.ndarray:
+    """Evenly spaced score quantiles to sweep (deduplicated)."""
+    scores = np.asarray(scores, dtype=float)
+    quantiles = np.linspace(0.0, 1.0, count)
+    return np.unique(np.quantile(scores, quantiles))
+
+
+def best_f1_threshold(scores: np.ndarray, labels: np.ndarray,
+                      count: int = 128, adjust: bool = True) -> ThresholdResult:
+    """Sweep candidate thresholds, return the best point-adjusted F1."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels)
+    best = ThresholdResult(float("inf"), DetectionMetrics(0.0, 0.0, 0.0))
+    for threshold in candidate_thresholds(scores, count):
+        metrics = detection_metrics(scores, labels, threshold, adjust=adjust)
+        if metrics.f1 > best.metrics.f1:
+            best = ThresholdResult(float(threshold), metrics)
+    return best
+
+
+def quantile_threshold(scores: np.ndarray, quantile: float = 0.99) -> float:
+    """Simple high-quantile threshold (baseline calibration rule)."""
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    return float(np.quantile(np.asarray(scores, dtype=float), quantile))

@@ -1,0 +1,58 @@
+"""Frequency-domain substrate: bases, context-aware transforms, theory."""
+
+from repro.frequency.basis import (
+    FourierBasis,
+    fourier_forward_matrix,
+    fourier_inverse_matrix,
+    num_rfft_bins,
+    rfft_bin_frequencies,
+)
+from repro.frequency.context_aware import (
+    ContextAwareDFT,
+    ContextAwareIDFT,
+    ServiceSubspace,
+    SubspaceBank,
+    count_basis_incidence,
+    select_dominant_bases,
+)
+from repro.frequency.dft import (
+    dominant_indices,
+    irfft_signal,
+    normalized_spectrum,
+    power_spectrum,
+    rfft_amplitude,
+    rfft_coefficients,
+)
+from repro.frequency.periodicity import PeriodEstimate, estimate_periods, recommend_window
+from repro.frequency.spectrum import (
+    SpectrumStats,
+    compare_anomaly_normal,
+    pairwise_kde_kl,
+    spectral_kl_divergence,
+    spectrum_expectation,
+    spectrum_variance,
+)
+from repro.frequency.theory import (
+    corollary1_condition,
+    corollary1_gap_under_shift,
+    double_factorial,
+    empirical_latent_gap,
+    kl_reconstruction_error,
+    theorem1_upper_bound,
+    theorem2_gap,
+)
+
+__all__ = [
+    "FourierBasis", "fourier_forward_matrix", "fourier_inverse_matrix",
+    "num_rfft_bins", "rfft_bin_frequencies",
+    "ContextAwareDFT", "ContextAwareIDFT", "ServiceSubspace", "SubspaceBank",
+    "count_basis_incidence", "select_dominant_bases",
+    "dominant_indices", "irfft_signal", "normalized_spectrum",
+    "power_spectrum", "rfft_amplitude", "rfft_coefficients",
+    "PeriodEstimate", "estimate_periods", "recommend_window",
+    "SpectrumStats", "compare_anomaly_normal", "pairwise_kde_kl",
+    "spectral_kl_divergence", "spectrum_expectation", "spectrum_variance",
+    "corollary1_condition", "corollary1_gap_under_shift", "double_factorial",
+    "empirical_latent_gap", "kl_reconstruction_error", "theorem1_upper_bound",
+    "theorem2_gap",
+]

@@ -1,0 +1,85 @@
+"""Reverse-mode automatic differentiation machinery.
+
+This module holds the pieces of the autograd engine that are independent of
+the :class:`~repro.nn.tensor.Tensor` class itself: the global gradient-mode
+switch, the ``no_grad`` context manager, and the topological traversal used
+by ``Tensor.backward``.
+
+The design mirrors the familiar PyTorch semantics at a much smaller scale:
+
+* every differentiable operation records a backward closure on the output
+  tensor together with references to its parent tensors;
+* calling ``backward()`` on a tensor performs a depth-first topological sort
+  of the recorded graph and invokes the closures in reverse order;
+* gradients accumulate additively into ``tensor.grad``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Iterator, List, Set
+
+__all__ = ["is_grad_enabled", "no_grad", "enable_grad", "topological_order"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording.
+
+    Inside the block, operations produce tensors with ``requires_grad=False``
+    and record no backward closures, exactly like ``torch.no_grad``.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+@contextlib.contextmanager
+def enable_grad() -> Iterator[None]:
+    """Context manager that re-enables graph recording inside ``no_grad``."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = True
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def topological_order(root) -> List:
+    """Return tensors reachable from ``root`` in reverse-topological order.
+
+    The returned list starts at ``root`` and ends at the leaves, so walking
+    it front-to-back and invoking each tensor's backward closure propagates
+    gradients correctly.  Iterative to avoid recursion limits on deep graphs
+    (e.g. long unrolled RNNs).
+    """
+    order: List = []
+    visited: Set[int] = set()
+    stack: List = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        parents: Iterable = node._parents or ()
+        for parent in parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order

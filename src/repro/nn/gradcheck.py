@@ -1,0 +1,55 @@
+"""Numerical gradient checking used by the property-based test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        lower = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+              eps: float = 1e-5, atol: float = 1e-4, rtol: float = 1e-3) -> bool:
+    """Compare autograd gradients of ``sum(fn(*inputs))`` to finite differences.
+
+    Raises ``AssertionError`` with a diagnostic on mismatch; returns True on
+    success so it can sit inside ``assert gradcheck(...)``.
+    """
+    for tensor_input in inputs:
+        tensor_input.grad = None
+    output = fn(*inputs)
+    output.sum().backward()
+    for index, tensor_input in enumerate(inputs):
+        if not tensor_input.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, index, eps=eps)
+        actual = tensor_input.grad
+        if actual is None:
+            raise AssertionError(f"input {index} received no gradient")
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs error {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,43 @@
+"""Neural-network layer modules."""
+
+from repro.nn.modules.activations import GELU, LeakyReLU, ReLU, Sigmoid, Softplus, Tanh
+from repro.nn.modules.attention import (
+    AnomalyAttention,
+    MultiheadSelfAttention,
+    TransformerEncoderLayer,
+)
+from repro.nn.modules.base import Module
+from repro.nn.modules.container import ModuleList, Sequential
+from repro.nn.modules.conv import Conv1d, ConvTranspose1d
+from repro.nn.modules.dropout import Dropout
+from repro.nn.modules.linear import Bilinear, Linear
+from repro.nn.modules.norm import BatchNorm1d, LayerNorm
+from repro.nn.modules.positional import PositionalEncoding, sinusoidal_positions
+from repro.nn.modules.recurrent import GRU, GRUCell, LSTMCell
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Bilinear",
+    "Conv1d",
+    "ConvTranspose1d",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm1d",
+    "PositionalEncoding",
+    "sinusoidal_positions",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "GELU",
+    "Softplus",
+    "GRU",
+    "GRUCell",
+    "LSTMCell",
+    "MultiheadSelfAttention",
+    "AnomalyAttention",
+    "TransformerEncoderLayer",
+]

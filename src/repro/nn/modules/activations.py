@@ -1,0 +1,47 @@
+"""Activation modules wrapping the functional forms."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid", "GELU", "Softplus"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Softplus(Module):
+    def __init__(self, beta: float = 1.0):
+        super().__init__()
+        self.beta = beta
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softplus(x, self.beta)

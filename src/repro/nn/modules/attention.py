@@ -1,0 +1,109 @@
+"""Attention layers for the transformer-family baselines.
+
+``MultiheadSelfAttention`` is a standard scaled-dot-product block.
+``AnomalyAttention`` additionally produces the Gaussian *prior* association
+used by AnomalyTransformer's association-discrepancy criterion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.modules.dropout import Dropout
+from repro.nn.modules.linear import Linear
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiheadSelfAttention", "AnomalyAttention", "TransformerEncoderLayer"]
+
+
+class MultiheadSelfAttention(Module):
+    """Multi-head self-attention over ``(N, T, D)`` inputs."""
+
+    def __init__(self, dim: int, num_heads: int = 4, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, return_attention: bool = False):
+        n, t, _ = x.shape
+        queries = self._split_heads(self.q_proj(x))
+        keys = self._split_heads(self.k_proj(x))
+        values = self._split_heads(self.v_proj(x))
+        scores = (queries @ keys.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        attention = F.softmax(scores, axis=-1)
+        if self.dropout is not None:
+            attention = self.dropout(attention)
+        context = attention @ values  # (N, H, T, hd)
+        context = context.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
+        out = self.out_proj(context)
+        if return_attention:
+            return out, attention
+        return out
+
+
+class AnomalyAttention(Module):
+    """Self-attention emitting both series- and prior-association maps.
+
+    The prior association is a learnable-width Gaussian over relative
+    distance |i - j| (AnomalyTransformer, ICLR 2022); the series association
+    is the ordinary softmax attention.  The association discrepancy between
+    the two drives the anomaly criterion.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.inner = MultiheadSelfAttention(dim, num_heads, rng=rng)
+        self.sigma_proj = Linear(dim, num_heads, rng=rng)
+        self.num_heads = num_heads
+
+    def forward(self, x: Tensor):
+        out, series_assoc = self.inner(x, return_attention=True)
+        n, t, _ = x.shape
+        # Learnable per-position, per-head Gaussian width (kept positive).
+        sigma = F.softplus(self.sigma_proj(x)) + 1e-3  # (N, T, H)
+        sigma = sigma.transpose(0, 2, 1).reshape(n, self.num_heads, t, 1)
+        distance = Tensor(
+            np.abs(np.arange(t)[:, None] - np.arange(t)[None, :])[None, None, :, :]
+        )
+        prior = (-(distance * distance) / (2.0 * sigma * sigma)).exp()
+        prior = prior / prior.sum(axis=-1, keepdims=True)
+        return out, series_assoc, prior
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(self, dim: int, num_heads: int = 4, ff_dim: int | None = None,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        from repro.nn.modules.norm import LayerNorm
+
+        ff_dim = ff_dim if ff_dim is not None else 4 * dim
+        self.attention = MultiheadSelfAttention(dim, num_heads, dropout, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.norm1(x))
+        hidden = F.gelu(self.ff1(self.norm2(x)))
+        return x + self.ff2(hidden)

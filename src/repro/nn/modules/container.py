@@ -1,0 +1,57 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.modules.base import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output to the next module's input."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """A list of submodules, registered for parameter traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called")

@@ -1,0 +1,86 @@
+"""Convolutional layers over 1-D sequences."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor
+
+__all__ = ["Conv1d", "ConvTranspose1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over inputs of shape ``(N, C_in, L)``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if kernel_size < 1 or stride < 1:
+            raise ValueError("kernel_size and stride must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), rng=rng)
+        )
+        if bias:
+            bound = 1.0 / math.sqrt(in_channels * kernel_size)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding)
+
+    def output_length(self, length: int) -> int:
+        return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class ConvTranspose1d(Module):
+    """Transposed 1-D convolution; weight layout ``(C_in, C_out, K)``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        scale = 1.0 / math.sqrt(in_channels * kernel_size)
+        self.weight = Parameter(
+            init.uniform((in_channels, out_channels, kernel_size), -scale, scale, rng=rng)
+        )
+        if bias:
+            self.bias = Parameter(init.uniform((out_channels,), -scale, scale, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv_transpose1d(x, self.weight, self.bias, stride=self.stride,
+                                  padding=self.padding)
+
+    def output_length(self, length: int) -> int:
+        return (length - 1) * self.stride + self.kernel_size - 2 * self.padding
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvTranspose1d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )

@@ -1,0 +1,62 @@
+"""Affine layers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor
+
+__all__ = ["Linear", "Bilinear"]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x @ W.T + b`` with ``W: (out, in)``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(init.uniform((out_features,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )
+
+
+class Bilinear(Module):
+    """Bilinear form ``y_k = x1 @ W_k @ x2 + b_k`` (used by graph baselines)."""
+
+    def __init__(self, in1: int, in2: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        scale = 1.0 / math.sqrt(in1)
+        self.weight = Parameter(
+            init.uniform((out_features, in1, in2), -scale, scale, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x1: Tensor, x2: Tensor) -> Tensor:
+        # x1: (N, in1), x2: (N, in2) -> (N, out)
+        left = x1 @ self.weight.transpose(1, 0, 2).reshape(
+            self.weight.shape[1], -1
+        )  # (N, out*in2)
+        left = left.reshape(x1.shape[0], self.weight.shape[0], self.weight.shape[2])
+        return (left * x2.reshape(x2.shape[0], 1, x2.shape[1])).sum(axis=-1) + self.bias

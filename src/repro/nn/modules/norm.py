@@ -1,0 +1,62 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor
+
+__all__ = ["LayerNorm", "BatchNorm1d"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over ``(N, C)`` or ``(N, C, L)`` inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        reduce_axes = (0,) if x.ndim == 2 else (0, 2)
+        shape = (1, self.num_features) if x.ndim == 2 else (1, self.num_features, 1)
+        if self.training:
+            mean = x.mean(axis=reduce_axes, keepdims=True)
+            centered = x - mean
+            variance = (centered * centered).mean(axis=reduce_axes, keepdims=True)
+            new_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.reshape(-1)
+            )
+            new_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * variance.data.reshape(-1)
+            )
+            self.update_buffer("running_mean", new_mean)
+            self.update_buffer("running_var", new_var)
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            variance = Tensor(self.running_var.reshape(shape))
+            centered = x - mean
+        normed = centered / (variance + self.eps).sqrt()
+        return normed * self.weight.reshape(shape) + self.bias.reshape(shape)

@@ -1,0 +1,39 @@
+"""Positional encodings for the attention-based models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["sinusoidal_positions", "PositionalEncoding"]
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Classic transformer sinusoidal position table ``(length, dim)``."""
+    if length < 1 or dim < 2:
+        raise ValueError("length must be >= 1 and dim >= 2")
+    position = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((length, dim))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: (dim + 1) // 2])
+    return table
+
+
+class PositionalEncoding(Module):
+    """Add fixed sinusoidal positions to ``(N, T, D)`` inputs."""
+
+    def __init__(self, max_length: int, dim: int):
+        super().__init__()
+        self.register_buffer("table", sinusoidal_positions(max_length, dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        length = x.shape[1]
+        if length > self.table.shape[0]:
+            raise ValueError(
+                f"sequence length {length} exceeds table size "
+                f"{self.table.shape[0]}"
+            )
+        return x + Tensor(self.table[None, :length])

@@ -1,0 +1,96 @@
+"""Recurrent layers (GRU) used by the recurrent baselines.
+
+The paper argues recurrent baselines (OmniAnomaly, MSCRED, VRNN) cannot be
+parallelised across time steps; having a real sequential GRU here lets the
+efficiency benchmarks (Fig. 6a) measure that honestly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor, concatenate, stack, zeros
+
+__all__ = ["GRUCell", "GRU", "LSTMCell"]
+
+
+class GRUCell(Module):
+    """Single-step gated recurrent unit."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        self.weight_ih = Parameter(
+            init.uniform((3 * hidden_size, input_size), -bound, bound, rng=rng)
+        )
+        self.weight_hh = Parameter(
+            init.uniform((3 * hidden_size, hidden_size), -bound, bound, rng=rng)
+        )
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size))
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gates_x = x @ self.weight_ih.transpose() + self.bias_ih
+        gates_h = h @ self.weight_hh.transpose() + self.bias_hh
+        hs = self.hidden_size
+        reset = (gates_x[:, :hs] + gates_h[:, :hs]).sigmoid()
+        update = (gates_x[:, hs:2 * hs] + gates_h[:, hs:2 * hs]).sigmoid()
+        candidate = (gates_x[:, 2 * hs:] + reset * gates_h[:, 2 * hs:]).tanh()
+        return update * h + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """Sequence GRU over inputs of shape ``(N, T, input_size)``.
+
+    Returns the full hidden sequence ``(N, T, hidden)`` and the final hidden
+    state ``(N, hidden)``.  Deliberately sequential over T.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, h0: Tensor | None = None):
+        batch, steps, _ = x.shape
+        h = h0 if h0 is not None else zeros(batch, self.hidden_size)
+        outputs = []
+        for t in range(steps):
+            h = self.cell(x[:, t, :], h)
+            outputs.append(h)
+        return stack(outputs, axis=1), h
+
+
+class LSTMCell(Module):
+    """Single-step LSTM (used by the LSTM-NDT style predictor)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.hidden_size = hidden_size
+        bound = 1.0 / math.sqrt(hidden_size)
+        self.weight = Parameter(
+            init.uniform((4 * hidden_size, input_size + hidden_size), -bound, bound, rng=rng)
+        )
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+
+    def forward(self, x: Tensor, state):
+        h, c = state
+        combined = concatenate([x, h], axis=-1)
+        gates = combined @ self.weight.transpose() + self.bias
+        hs = self.hidden_size
+        input_gate = gates[:, :hs].sigmoid()
+        forget_gate = gates[:, hs:2 * hs].sigmoid()
+        candidate = gates[:, 2 * hs:3 * hs].tanh()
+        output_gate = gates[:, 3 * hs:].sigmoid()
+        c_next = forget_gate * c + input_gate * candidate
+        h_next = output_gate * c_next.tanh()
+        return h_next, c_next

@@ -1,0 +1,125 @@
+"""First-order optimizers: SGD (momentum/Nesterov), Adam, AdamW.
+
+Also provides gradient clipping by global norm, which the trainer uses to
+keep the high-power dualistic convolution from exploding (the paper notes
+large γ risks gradient explosion; σ and clipping are the mitigations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer storing the parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(parameters, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = grad + self.momentum * velocity if self.nesterov else velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        scale = self.lr * math.sqrt(bias2) / bias1
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            param.data -= scale * m / (np.sqrt(v) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data -= self.lr * self.weight_decay * param.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    if total > max_norm and total > 0:
+        factor = max_norm / total
+        for param in params:
+            param.grad *= factor
+    return total

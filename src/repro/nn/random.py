@@ -1,0 +1,37 @@
+"""Global random-number management for reproducible experiments.
+
+All stochastic pieces of the library (weight init, dropout, VAE sampling,
+data generation defaults) draw from NumPy ``Generator`` objects.  ``seed``
+resets the library-wide default generator; components may also accept their
+own generator for full isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed", "default_rng", "fork_rng"]
+
+_DEFAULT = np.random.default_rng(0)
+
+
+def seed(value: int) -> None:
+    """Reset the library-wide default generator."""
+    global _DEFAULT
+    _DEFAULT = np.random.default_rng(value)
+
+
+def default_rng() -> np.random.Generator:
+    """Return the library-wide default generator."""
+    return _DEFAULT
+
+
+def fork_rng(value: int | None = None) -> np.random.Generator:
+    """Return an independent generator.
+
+    With ``value`` given the fork is deterministic; otherwise it is spawned
+    from the default generator's stream.
+    """
+    if value is not None:
+        return np.random.default_rng(value)
+    return np.random.default_rng(_DEFAULT.integers(0, 2**63 - 1))

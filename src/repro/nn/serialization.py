@@ -1,0 +1,36 @@
+"""Saving and loading module state dicts via ``numpy.savez``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.modules.base import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str | Path) -> None:
+    """Write a state dict to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str | Path) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Persist a module's parameters and buffers."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path, strict: bool = True) -> Module:
+    """Restore a module in place and return it."""
+    module.load_state_dict(load_state(path), strict=strict)
+    return module

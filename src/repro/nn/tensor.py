@@ -1,0 +1,650 @@
+"""A small NumPy-backed tensor with reverse-mode automatic differentiation.
+
+This is the foundation substrate of the reproduction: the paper's models are
+implemented in PyTorch, which is unavailable offline, so we provide the
+subset of a deep-learning framework the paper actually needs.  The ``Tensor``
+class wraps a ``numpy.ndarray`` and records a backward closure per operation;
+``Tensor.backward`` walks the graph in reverse-topological order.
+
+Every differentiable op here is covered by numerical-gradient property tests
+in ``tests/nn/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import is_grad_enabled, topological_order
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "concatenate",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "odd_power",
+    "odd_root",
+    "pad1d",
+]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value, dtype=_DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+def _consumed_marker(_grad):
+    raise AssertionError("consumed backward closure must never be invoked")
+
+
+_CONSUMED = _consumed_marker
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array plus gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray`` (floats coerced to float64).
+    requires_grad:
+        When true, operations involving this tensor record backward closures
+        and ``backward()`` will populate ``grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self._backward = None
+        self._parents: tuple = ()
+        self._op = "leaf"
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); treat as read-only."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        out = Tensor(self.data)
+        return out
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{flag})"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _from_op(data: np.ndarray, parents: tuple, backward, op: str) -> "Tensor":
+        """Create the output tensor of an op, recording the graph if enabled."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        if requires:
+            out.requires_grad = True
+            out._backward = backward
+            out._parents = parents
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (must be supplied explicitly for scalar use
+        it defaults to 1.0, matching the usual convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+        self._accumulate(grad)
+        for node in topological_order(self):
+            if node._backward is _CONSUMED:
+                raise RuntimeError(
+                    "part of this graph was already backpropagated and "
+                    "freed; recompute the forward pass before calling "
+                    "backward() again (retain_graph is not supported)"
+                )
+            if node._backward is None:
+                continue
+            node._backward(node.grad)
+            # Free intermediate gradient/graph memory once consumed; mark
+            # the node so a second backward through it fails loudly instead
+            # of silently dropping gradient contributions.
+            if node is not self:
+                node.grad = None
+            node._backward = _CONSUMED
+            node._parents = ()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._from_op(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                )
+
+        return Tensor._from_op(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._from_op(data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp(log(x) * y)")
+        data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(data, (self,), backward, "pow")
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(
+                        _unbroadcast(np.outer(grad, other.data).reshape(self.shape), self.shape)
+                        if self.data.ndim <= 2
+                        else _unbroadcast(grad[..., None] * other.data, self.shape)
+                    )
+                else:
+                    self._accumulate(
+                        _unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.shape)
+                    )
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(_unbroadcast(np.outer(self.data, grad), other.shape))
+                elif other.data.ndim == 1:
+                    axes = tuple(range(grad.ndim - 1))
+                    contribution = np.tensordot(grad, self.data, axes=(axes, axes))
+                    # tensordot yields (n,) gradient for the vector operand
+                    other._accumulate(_unbroadcast(contribution, other.shape))
+                else:
+                    other._accumulate(
+                        _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape)
+                    )
+
+        return Tensor._from_op(data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return Tensor._from_op(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._from_op(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(data, 1e-300))
+
+        return Tensor._from_op(data, (self,), backward, "sqrt")
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._from_op(data, (self,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data**2))
+
+        return Tensor._from_op(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * data * (1.0 - data))
+
+        return Tensor._from_op(data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._from_op(data, (self,), backward, "relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._from_op(data, (self,), backward, "clip")
+
+    def sign(self) -> "Tensor":
+        """Sign of each element; gradient is zero everywhere (like torch)."""
+        return Tensor(np.sign(self.data))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor._from_op(np.asarray(data), (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))]
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def _extreme(self, axis, keepdims, np_fn, op_name) -> "Tensor":
+        data = np_fn(self.data, axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            expanded_val = data
+            expanded_grad = grad
+            if axis is not None and not keepdims:
+                expanded_val = np.expand_dims(data, axis=axis)
+                expanded_grad = np.expand_dims(grad, axis=axis)
+            mask = self.data == expanded_val
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * expanded_grad / counts)
+
+        return Tensor._from_op(np.asarray(data), (self,), backward, op_name)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum reduction; ties share the gradient evenly."""
+        return self._extreme(axis, keepdims, np.max, "max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum reduction; ties share the gradient evenly."""
+        return self._extreme(axis, keepdims, np.min, "min")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._from_op(data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._from_op(data, (self,), backward, "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return Tensor._from_op(np.asarray(data), (self,), backward, "getitem")
+
+    def broadcast_to(self, shape: tuple) -> "Tensor":
+        data = np.broadcast_to(self.data, shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, original))
+
+        return Tensor._from_op(data.copy(), (self,), backward, "broadcast")
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable module parameter."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+    def __repr__(self) -> str:
+        return "Parameter(" + super().__repr__() + ")"
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a tensor (alias mirroring ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def full(shape, value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, value), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        moved = np.moveaxis(grad, axis, 0)
+        for t, piece in zip(tensors, moved):
+            if t.requires_grad:
+                t._accumulate(piece)
+
+    return Tensor._from_op(data, tuple(tensors), backward, "stack")
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select; the condition is treated as constant."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape))
+
+    return Tensor._from_op(data, (a, b), backward, "where")
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; ties route gradient to the first argument."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    take_a = a.data >= b.data
+    return where(take_a, a, b)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise minimum; ties route gradient to the first argument."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    take_a = a.data <= b.data
+    return where(take_a, a, b)
+
+
+def odd_power(x, gamma: float) -> Tensor:
+    """Sign-preserving power ``sign(x) * |x|**gamma``.
+
+    For odd integer ``gamma`` this equals ``x**gamma`` but stays real-valued
+    for any positive ``gamma``, which is what the dualistic convolution
+    (paper Eq. 2) requires.  The derivative is ``gamma * |x|**(gamma-1)``.
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    magnitude = np.abs(x.data)
+    data = np.sign(x.data) * magnitude**gamma
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * gamma * magnitude ** (gamma - 1))
+
+    return Tensor._from_op(data, (x,), backward, "odd_power")
+
+
+def odd_root(x, gamma: float, eps: float = 1e-8) -> Tensor:
+    """Sign-preserving ``gamma``-th root, inverse of :func:`odd_power`.
+
+    The true derivative diverges at 0; ``eps`` clamps the magnitude in the
+    backward pass to keep training numerically stable (documented deviation,
+    standard practice for fractional-power activations).
+    """
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    magnitude = np.abs(x.data)
+    data = np.sign(x.data) * magnitude ** (1.0 / gamma)
+
+    def backward(grad):
+        if x.requires_grad:
+            safe = np.maximum(magnitude, eps)
+            x._accumulate(grad * (1.0 / gamma) * safe ** (1.0 / gamma - 1.0))
+
+    return Tensor._from_op(data, (x,), backward, "odd_root")
+
+
+def pad1d(x: Tensor, left: int, right: int, value: float = 0.0) -> Tensor:
+    """Pad the last axis of ``x`` with ``value`` (constant padding)."""
+    if left < 0 or right < 0:
+        raise ValueError("padding must be non-negative")
+    widths = [(0, 0)] * (x.ndim - 1) + [(left, right)]
+    data = np.pad(x.data, widths, constant_values=value)
+    length = x.shape[-1]
+
+    def backward(grad):
+        if x.requires_grad:
+            slicer = [slice(None)] * (x.ndim - 1) + [slice(left, left + length)]
+            x._accumulate(grad[tuple(slicer)])
+
+    return Tensor._from_op(data, (x,), backward, "pad1d")

@@ -1,0 +1,180 @@
+"""Baseline detectors: contract compliance and basic detection ability."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    AnomalyTransformerDetector,
+    BaselineConfig,
+    DcDetector,
+    JumpStarterDetector,
+    MscredDetector,
+    ProsDetector,
+    TranAdDetector,
+    VaeDetector,
+)
+from repro.core.detector import AnomalyDetector
+
+FAST = BaselineConfig(window=40, epochs=2, train_stride=8, batch_size=32)
+
+NEURAL_NAMES = [n for n in ALL_BASELINES if n != "JumpStarter"]
+
+
+def _make(name):
+    cls = ALL_BASELINES[name]
+    return cls(FAST) if name != "JumpStarter" else cls(window=40)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Fit every baseline once on a small two-service dataset."""
+    from repro.data import load_dataset
+
+    dataset = load_dataset("smd", num_services=2, train_length=384,
+                           test_length=384, seed=2)
+    ids = [s.service_id for s in dataset]
+    trains = [s.train for s in dataset]
+    detectors = {}
+    for name in ALL_BASELINES:
+        detector = _make(name)
+        detector.fit(ids, trains)
+        detectors[name] = detector
+    return dataset, detectors
+
+
+class TestContract:
+    def test_registry_complete(self):
+        assert set(ALL_BASELINES) == {
+            "DCdetector", "AnomalyTransformer", "DVGCRN", "JumpStarter",
+            "OmniAnomaly", "MSCRED", "TranAD", "ProS", "VAE", "LSTM-NDT",
+        }
+
+    def test_all_are_detectors(self):
+        for cls in ALL_BASELINES.values():
+            assert issubclass(cls, AnomalyDetector)
+
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_score_shape_and_positivity(self, fitted, name):
+        dataset, detectors = fitted
+        service = dataset[0]
+        scores = detectors[name].score(service.service_id, service.test)
+        assert scores.shape == (len(service.test),)
+        assert np.isfinite(scores).all()
+        assert np.all(scores >= 0)
+
+    @pytest.mark.parametrize("name", sorted(NEURAL_NAMES))
+    def test_training_loss_recorded(self, fitted, name):
+        _, detectors = fitted
+        assert len(detectors[name].epoch_losses) == FAST.epochs
+
+    @pytest.mark.parametrize("name", sorted(NEURAL_NAMES))
+    def test_unfitted_score_raises(self, name):
+        with pytest.raises(RuntimeError):
+            _make(name).score("svc", np.zeros((100, 2)))
+
+    def test_jumpstarter_unfitted_raises(self):
+        with pytest.raises(KeyError):
+            JumpStarterDetector(window=40).score("svc", np.zeros((100, 2)))
+
+    @pytest.mark.parametrize("name", sorted(NEURAL_NAMES))
+    def test_parameter_count_positive(self, fitted, name):
+        _, detectors = fitted
+        assert detectors[name].num_parameters() > 0
+
+
+class TestDetectionAbility:
+    """Every baseline must flag a blatant spike on an easy periodic series."""
+
+    @pytest.fixture(scope="class")
+    def easy_case(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(1024)
+        train = np.stack([np.sin(2 * np.pi * t / 16),
+                          np.cos(2 * np.pi * t / 16)], axis=1)
+        train += 0.05 * rng.normal(size=train.shape)
+        test = train.copy()
+        test[300:304] += 6.0
+        labels = np.zeros(1024, dtype=bool)
+        labels[300:304] = True
+        return train, test, labels
+
+    @pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+    def test_spike_scores_above_median(self, easy_case, name):
+        train, test, labels = easy_case
+        detector = _make(name)
+        detector.fit(["svc"], [train])
+        scores = detector.score("svc", test)
+        spike_score = scores[labels].max()
+        floor = np.median(scores[~labels])
+        assert spike_score > 2.0 * floor, (
+            f"{name} failed to raise the spike above its score floor"
+        )
+
+
+class TestSpecificBehaviours:
+    def test_vae_latent_bottleneck(self):
+        detector = VaeDetector(FAST, hidden=32, latent=4)
+        assert detector.latent == 4
+
+    def test_mscred_segment_validation(self):
+        with pytest.raises(ValueError):
+            MscredDetector(BaselineConfig(window=40), segments=7)
+
+    def test_mscred_signature_matrices_symmetry(self, rng):
+        from repro.baselines.mscred import signature_matrices
+
+        windows = rng.normal(size=(3, 40, 4))
+        sig = signature_matrices(windows, segments=8).reshape(3, 8, 4, 4)
+        np.testing.assert_allclose(sig, np.swapaxes(sig, -1, -2), atol=1e-12)
+
+    def test_dcdetector_patch_validation(self):
+        with pytest.raises(ValueError):
+            DcDetector(BaselineConfig(window=40), patch=7).fit(
+                ["svc"], [np.zeros((100, 2))]
+            )
+
+    def test_pros_tracks_domains(self, rng):
+        detector = ProsDetector(FAST)
+        trains = [rng.normal(size=(200, 2)) for _ in range(2)]
+        detector.fit(["a", "b"], trains)
+        assert detector._domain_index("a") == 0
+        assert detector._domain_index("b") == 1
+        assert detector._domain_index("unseen") == 0  # zero-shot fallback
+
+    def test_jumpstarter_prepare_service(self, rng):
+        detector = JumpStarterDetector(window=40)
+        series = rng.normal(size=(300, 2))
+        detector.prepare_service("new", series)
+        scores = detector.score("new", rng.normal(size=(120, 2)))
+        assert scores.shape == (120,)
+
+    def test_jumpstarter_sampling_validation(self):
+        with pytest.raises(ValueError):
+            JumpStarterDetector(sample_fraction=0.01)
+
+    def test_tranad_two_phases_differ(self, rng):
+        from repro.baselines.tranad import TranAdModel
+        from repro.nn import Tensor
+
+        model = TranAdModel(window=20, num_features=2)
+        phase1, phase2 = model(Tensor(rng.normal(size=(2, 20, 2))))
+        assert not np.allclose(phase1.data, phase2.data)
+
+    def test_anomaly_transformer_discrepancy_shape(self, rng):
+        from repro.baselines.anomaly_transformer import association_discrepancy
+
+        series = np.abs(rng.random((2, 4, 10, 10)))
+        series = series / series.sum(-1, keepdims=True)
+        prior = np.abs(rng.random((2, 4, 10, 10)))
+        prior = prior / prior.sum(-1, keepdims=True)
+        discrepancy = association_discrepancy(series, prior)
+        assert discrepancy.shape == (2, 10)
+        assert np.all(discrepancy >= 0)
+
+    def test_dvgcrn_adjacency_is_stochastic(self, rng):
+        from repro.baselines.dvgcrn import DvgcrnModel
+
+        model = DvgcrnModel(num_features=4)
+        adjacency = model.adjacency()
+        np.testing.assert_allclose(adjacency.data.sum(axis=-1), 1.0, atol=1e-9)

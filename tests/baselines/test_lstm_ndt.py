@@ -1,0 +1,58 @@
+"""LSTM-NDT baseline and the NDT thresholding rule."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig, LstmNdtDetector, ndt_threshold
+
+
+class TestNdtThreshold:
+    def test_separates_clear_outliers(self, rng):
+        errors = np.concatenate([np.abs(rng.normal(0, 0.1, 500)),
+                                 np.full(5, 5.0)])
+        threshold = ndt_threshold(errors)
+        assert 0.5 < threshold < 5.0
+
+    def test_degenerate_inputs(self):
+        assert ndt_threshold(np.array([1.0, 1.0])) == 1.0
+        assert np.isfinite(ndt_threshold(np.full(100, 2.0)))
+
+    def test_no_outliers_yields_high_threshold(self, rng):
+        errors = np.abs(rng.normal(0, 0.1, 500))
+        threshold = ndt_threshold(errors)
+        assert threshold > errors.mean()
+
+
+class TestLstmNdtDetector:
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            LstmNdtDetector(smoothing=0.0)
+
+    def test_fit_score_and_spike_detection(self, rng):
+        t = np.arange(768)
+        train = np.stack([np.sin(2 * np.pi * t / 16),
+                          np.cos(2 * np.pi * t / 16)], axis=1)
+        train += 0.05 * rng.normal(size=train.shape)
+        test = train.copy()
+        test[300:303] += 6.0
+        detector = LstmNdtDetector(
+            BaselineConfig(window=40, epochs=3, train_stride=8)
+        )
+        detector.fit(["svc"], [train])
+        scores = detector.score("svc", test)
+        assert scores.shape == (768,)
+        floor = np.median(scores)
+        assert scores[300:306].max() > 2.0 * floor
+
+    def test_scores_are_smoothed(self, rng):
+        """EWMA smoothing: after a spike the score decays, not drops."""
+        detector = LstmNdtDetector(
+            BaselineConfig(window=20, epochs=1, train_stride=8),
+            smoothing=0.2,
+        )
+        train = rng.normal(size=(200, 1))
+        detector.fit(["svc"], [train])
+        windows = rng.normal(size=(1, 20, 1))
+        windows[0, 10, 0] = 20.0
+        errors = detector.window_errors(detector.model, windows, "svc")[0]
+        assert errors[11] > errors[13] > errors[16]

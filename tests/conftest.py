@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """Two short services of the SMD profile — enough for end-to-end tests."""
+    from repro.data import load_dataset
+
+    return load_dataset("smd", num_services=2, train_length=256,
+                        test_length=256, seed=5)

@@ -1,0 +1,64 @@
+"""Per-feature anomaly attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaceConfig, MaceDetector, explain_interval
+from repro.core.interpret import feature_error_timelines
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(8)
+    t = np.arange(1024)
+    train = np.stack([
+        np.sin(2 * np.pi * t / 10),
+        np.cos(2 * np.pi * t / 20),
+        np.sin(2 * np.pi * t / 8),
+    ], axis=1) + 0.05 * rng.normal(size=(1024, 3))
+    test = train.copy()
+    test[500:520, 1] += 4.0  # anomaly on feature 1 only
+    config = MaceConfig(window=40, num_bases=6, channels=4, epochs=4,
+                        train_stride=4, gamma_time=5, gamma_freq=5,
+                        kernel_freq=4, kernel_time=3)
+    detector = MaceDetector(config).fit(["svc"], [train])
+    return detector, test
+
+
+class TestFeatureTimelines:
+    def test_shape(self, fitted):
+        detector, test = fitted
+        timelines = feature_error_timelines(detector, "svc", test)
+        assert timelines.shape == (1024, 3)
+        assert np.all(timelines >= 0)
+
+    def test_sum_tracks_detector_score(self, fitted):
+        detector, test = fitted
+        timelines = feature_error_timelines(detector, "svc", test)
+        scores = detector.score("svc", test)
+        correlation = np.corrcoef(timelines.mean(axis=1), scores)[0, 1]
+        assert correlation > 0.8
+
+
+class TestExplainInterval:
+    def test_blames_the_right_feature(self, fitted):
+        detector, test = fitted
+        attributions = explain_interval(detector, "svc", test, 500, 520)
+        assert attributions[0].feature == 1
+        assert attributions[0].share > 0.4
+
+    def test_shares_sum_to_at_most_one(self, fitted):
+        detector, test = fitted
+        attributions = explain_interval(detector, "svc", test, 500, 520,
+                                        top=3)
+        assert sum(a.share for a in attributions) <= 1.0 + 1e-9
+
+    def test_invalid_interval(self, fitted):
+        detector, test = fitted
+        with pytest.raises(ValueError):
+            explain_interval(detector, "svc", test, 100, 50)
+
+    def test_repr_shows_share(self, fitted):
+        detector, test = fitted
+        attribution = explain_interval(detector, "svc", test, 500, 520)[0]
+        assert "%" in repr(attribution)

@@ -1,0 +1,98 @@
+"""Streaming detection and detector persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaceConfig,
+    MaceDetector,
+    StreamingDetector,
+    load_detector,
+    save_detector,
+)
+
+
+def _fitted_detector(dataset):
+    config = MaceConfig(window=40, num_bases=6, channels=4, epochs=3,
+                        train_stride=4, gamma_time=5, gamma_freq=5,
+                        kernel_freq=4, kernel_time=3)
+    detector = MaceDetector(config)
+    return detector.fit([s.service_id for s in dataset],
+                        [s.train for s in dataset])
+
+
+class TestPersistence:
+    def test_roundtrip_scores_identical(self, tiny_dataset, tmp_path):
+        detector = _fitted_detector(tiny_dataset)
+        service = tiny_dataset[0]
+        original = detector.score(service.service_id, service.test)
+        manifest = save_detector(detector, tmp_path / "model")
+        restored = load_detector(manifest)
+        clone = restored.score(service.service_id, service.test)
+        np.testing.assert_allclose(clone, original, atol=1e-10)
+
+    def test_restored_detector_keeps_config(self, tiny_dataset, tmp_path):
+        detector = _fitted_detector(tiny_dataset)
+        save_detector(detector, tmp_path / "model")
+        restored = load_detector(tmp_path / "model")
+        assert restored.config == detector.config
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_detector(MaceDetector(), tmp_path / "model")
+
+    def test_bad_manifest_rejected(self, tmp_path):
+        (tmp_path / "model.json").write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            load_detector(tmp_path / "model")
+
+
+class TestStreaming:
+    def test_stream_matches_batch_tail_scores(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        service = tiny_dataset[0]
+        stream = StreamingDetector(detector, window=40, q=1e-2)
+        stream.start_service(service.service_id, service.train)
+        outcomes = [stream.update(service.service_id, row)
+                    for row in service.test[:100]]
+        assert all(o.ready for o in outcomes)  # buffer pre-filled by history
+        scores = np.array([o.score for o in outcomes])
+        assert np.isfinite(scores).all() and np.all(scores >= 0)
+
+    def test_alerts_fire_on_injected_anomaly(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        service = tiny_dataset[0]
+        stream = StreamingDetector(detector, window=40, q=1e-2)
+        stream.start_service(service.service_id, service.train)
+        test = service.test.copy()
+        test[60:63] += 8.0  # blatant spike
+        alerts = [stream.update(service.service_id, row).is_alert
+                  for row in test[:120]]
+        assert any(alerts[58:70])
+
+    def test_unknown_service(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        stream = StreamingDetector(detector, window=40)
+        with pytest.raises(KeyError):
+            stream.update("nope", np.zeros(8))
+
+    def test_short_history_rejected(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        stream = StreamingDetector(detector, window=40)
+        with pytest.raises(ValueError):
+            stream.start_service("svc", np.zeros((30, 8)))
+
+    def test_feature_mismatch_rejected(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        service = tiny_dataset[0]
+        stream = StreamingDetector(detector, window=40)
+        stream.start_service(service.service_id, service.train)
+        with pytest.raises(ValueError):
+            stream.update(service.service_id, np.zeros(3))
+
+    def test_threshold_accessor(self, tiny_dataset):
+        detector = _fitted_detector(tiny_dataset)
+        service = tiny_dataset[0]
+        stream = StreamingDetector(detector, window=40)
+        stream.start_service(service.service_id, service.train)
+        assert np.isfinite(stream.threshold(service.service_id))

@@ -1,0 +1,58 @@
+"""Incremental subspace adaptation (pattern drift)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PatternExtractor
+
+
+def _tone(length, period, rng, noise=0.05):
+    t = np.arange(length)
+    return (np.sin(2 * np.pi * t / period)
+            + noise * rng.normal(size=length))[:, None]
+
+
+class TestUpdateService:
+    def test_adapts_to_new_dominant_period(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3)
+        extractor.fit_service("svc", _tone(2000, 20.0, rng))  # bin 2
+        assert 2 in extractor.subspace("svc").bases[0].indices
+        # The service's pattern drifts to period 8 (bin 5); repeated
+        # updates with strong decay must rotate the subspace.
+        for _ in range(4):
+            extractor.update_service("svc", _tone(1200, 8.0, rng), decay=0.3)
+        assert 5 in extractor.subspace("svc").bases[0].indices
+
+    def test_high_decay_preserves_old_pattern(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3)
+        extractor.fit_service("svc", _tone(4000, 20.0, rng))
+        extractor.update_service("svc", _tone(200, 8.0, rng), decay=1.0)
+        # one short burst of a new tone should not displace the old basis
+        assert 2 in extractor.subspace("svc").bases[0].indices
+
+    def test_update_unknown_service_falls_back_to_fit(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3)
+        subspace = extractor.update_service("new", _tone(800, 10.0, rng))
+        assert "new" in extractor
+        assert subspace.k == 3
+
+    def test_update_invalidates_transform_cache(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3)
+        extractor.fit_service("svc", _tone(1000, 20.0, rng))
+        first, _ = extractor.transforms("svc")
+        extractor.update_service("svc", _tone(1000, 8.0, rng), decay=0.0)
+        second, _ = extractor.transforms("svc")
+        assert first is not second
+
+    def test_invalid_decay(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3)
+        extractor.fit_service("svc", _tone(500, 20.0, rng))
+        with pytest.raises(ValueError):
+            extractor.update_service("svc", _tone(200, 8.0, rng), decay=1.5)
+
+    def test_full_spectrum_mode_is_noop(self, rng):
+        extractor = PatternExtractor(window=40, num_bases=3,
+                                     context_aware=False)
+        extractor.fit_service("svc", _tone(500, 20.0, rng))
+        subspace = extractor.update_service("svc", _tone(200, 8.0, rng))
+        assert subspace.k == 21  # still the full spectrum

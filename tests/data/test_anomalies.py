@@ -1,0 +1,115 @@
+"""Anomaly injection: labels, ratios, overlap rules, context usage."""
+
+import numpy as np
+import pytest
+
+from repro.data import AnomalyKind, default_mix, inject_anomalies, kind_ratios
+from repro.data.anomalies import (
+    FrequencyShiftInjector,
+    InjectionContext,
+    LevelShiftInjector,
+    SpikeInjector,
+)
+
+
+@pytest.fixture
+def normal_series(rng):
+    t = np.arange(3000)
+    base = np.stack([np.sin(2 * np.pi * t / 24), np.cos(2 * np.pi * t / 24)],
+                    axis=1)
+    return base + 0.05 * rng.normal(size=base.shape)
+
+
+class TestInjectAnomalies:
+    def test_ratio_hit_exactly(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.05, rng=rng)
+        assert result.labels.sum() == int(round(0.05 * len(normal_series)))
+
+    def test_labels_match_segments(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.08, rng=rng)
+        rebuilt = np.zeros(len(normal_series), dtype=int)
+        for segment in result.segments:
+            rebuilt[segment.start:segment.stop] = 1
+        np.testing.assert_array_equal(rebuilt, result.labels)
+
+    def test_segments_do_not_overlap(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.15, rng=rng, margin=3)
+        ordered = sorted(result.segments, key=lambda s: s.start)
+        for left, right in zip(ordered, ordered[1:]):
+            assert right.start - left.stop >= 3
+
+    def test_series_modified_only_inside_segments(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.05, rng=rng)
+        outside = result.labels == 0
+        np.testing.assert_allclose(result.series[outside],
+                                   normal_series[outside])
+
+    def test_original_untouched(self, normal_series, rng):
+        copy = normal_series.copy()
+        inject_anomalies(normal_series, 0.05, rng=rng)
+        np.testing.assert_array_equal(normal_series, copy)
+
+    def test_invalid_ratio(self, normal_series, rng):
+        with pytest.raises(ValueError):
+            inject_anomalies(normal_series, 0.0, rng=rng)
+        with pytest.raises(ValueError):
+            inject_anomalies(normal_series, 0.6, rng=rng)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            inject_anomalies(rng.normal(size=100), 0.05, rng=rng)
+
+    def test_point_heavy_mix_is_spike_dominated(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.1,
+                                  default_mix(point_heavy=True), rng=rng)
+        point, context, _ = kind_ratios(result.segments, len(normal_series))
+        assert point > context
+
+
+class TestKindRatios:
+    def test_sums_to_one(self, normal_series, rng):
+        result = inject_anomalies(normal_series, 0.1, rng=rng)
+        point, context, normal = kind_ratios(result.segments, len(normal_series))
+        assert point + context + normal == pytest.approx(1.0)
+
+    def test_empty_segments(self):
+        assert kind_ratios([], 100) == (0.0, 0.0, 1.0)
+
+
+class TestInjectors:
+    def test_spike_changes_few_points(self, normal_series, rng):
+        series = normal_series.copy()
+        SpikeInjector().apply(series, 100, 102, rng)
+        changed = np.any(series != normal_series, axis=1)
+        assert changed.sum() <= 2
+        assert changed[100] or changed[101]
+
+    def test_level_shift_changes_mean(self, normal_series, rng):
+        series = normal_series.copy()
+        LevelShiftInjector().apply(series, 200, 260, rng)
+        delta = np.abs(series[200:260] - normal_series[200:260]).max()
+        assert delta > 0.5
+
+    def test_frequency_shift_uses_foreign_period(self, normal_series, rng):
+        series = normal_series.copy()
+        context = InjectionContext(foreign_periods=(6.0,), own_periods=(24.0,))
+        injector = FrequencyShiftInjector()
+        injector.apply(series, 500, 564, rng, context)
+        segment = series[500:564] - series[500:564].mean(axis=0)
+        spectrum = np.abs(np.fft.rfft(segment, axis=0))
+        # 64-sample segment, period 6 -> bin ~10.7; energy should sit near
+        # bins 10-11 rather than the original period-24 bin (~2.7).
+        foreign_energy = spectrum[10:12].sum()
+        own_energy = spectrum[2:4].sum()
+        assert foreign_energy > own_energy
+
+    def test_frequency_shift_avoids_own_periods(self, rng):
+        injector = FrequencyShiftInjector()
+        context = InjectionContext(foreign_periods=(20.0, 21.0, 5.0),
+                                   own_periods=(20.0,))
+        chosen = {injector._pick_period(rng, context) for _ in range(50)}
+        assert chosen == {5.0}
+
+    def test_frequency_shift_fallback_without_context(self, rng):
+        injector = FrequencyShiftInjector(period=4.0)
+        assert injector._pick_period(rng, None) == 4.0

@@ -1,0 +1,42 @@
+"""Training-set contamination utility."""
+
+import numpy as np
+import pytest
+
+from repro.data import contaminate_training, load_dataset
+
+
+@pytest.fixture
+def service():
+    return load_dataset("smd", num_services=1, train_length=1024,
+                        test_length=256)[0]
+
+
+class TestContamination:
+    def test_ratio_respected(self, service, rng):
+        contaminated = contaminate_training(service, 0.05, rng=rng)
+        assert contaminated.contamination_ratio == pytest.approx(0.05,
+                                                                 abs=0.01)
+
+    def test_original_untouched(self, service, rng):
+        before = service.train.copy()
+        contaminate_training(service, 0.05, rng=rng)
+        np.testing.assert_array_equal(service.train, before)
+
+    def test_labels_mark_modified_points(self, service, rng):
+        contaminated = contaminate_training(service, 0.08, rng=rng)
+        changed = np.any(contaminated.train != service.train, axis=1)
+        # every modified point is labelled (labels may cover a superset
+        # because some injections can coincide with original values)
+        assert np.all(contaminated.train_labels[changed] == 1)
+
+    def test_detector_trains_on_contaminated_data(self, service, rng):
+        from repro.core import MaceConfig, MaceDetector
+
+        contaminated = contaminate_training(service, 0.05, rng=rng)
+        detector = MaceDetector(
+            MaceConfig(epochs=1, train_stride=8, channels=4, num_bases=6)
+        )
+        detector.fit([service.service_id], [contaminated.train])
+        scores = detector.score(service.service_id, service.test)
+        assert np.isfinite(scores).all()

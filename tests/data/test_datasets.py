@@ -1,0 +1,158 @@
+"""Dataset profiles, generation, registry and splits."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DatasetProfile,
+    Normalizer,
+    available_datasets,
+    generate_service,
+    get_profile,
+    load_dataset,
+    random_pattern,
+    register_profile,
+    tailored_singletons,
+    transfer_pair,
+    unified_groups,
+)
+from repro.data.datasets import PROFILES
+
+
+class TestNormalizer:
+    def test_fit_transform_standardises(self, rng):
+        x = rng.normal(5.0, 3.0, size=(500, 3))
+        normalizer = Normalizer.fit(x)
+        z = normalizer.transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.normal(size=(100, 2))
+        normalizer = Normalizer.fit(x)
+        np.testing.assert_allclose(normalizer.inverse(normalizer.transform(x)),
+                                   x, atol=1e-10)
+
+    def test_constant_feature_is_safe(self):
+        x = np.ones((50, 1))
+        z = Normalizer.fit(x).transform(x)
+        assert np.isfinite(z).all()
+
+
+class TestGenerateService:
+    def test_train_is_normalised_and_clean(self, rng):
+        pattern = random_pattern(rng, 3)
+        service = generate_service("svc", pattern, 400, 400, 0.05, rng=rng)
+        assert service.train.shape == (400, 3)
+        np.testing.assert_allclose(service.train.mean(axis=0), 0.0, atol=1e-9)
+        assert service.test_labels.shape == (400,)
+        assert service.anomaly_ratio == pytest.approx(0.05, abs=0.01)
+
+    def test_repr_mentions_ratio(self, rng):
+        pattern = random_pattern(rng, 2)
+        service = generate_service("svc", pattern, 200, 200, 0.1, rng=rng)
+        assert "anomaly_ratio" in repr(service)
+
+
+class TestLoadDataset:
+    def test_all_profiles_generate(self):
+        for name in available_datasets():
+            dataset = load_dataset(name, num_services=2, train_length=256,
+                                   test_length=256)
+            assert len(dataset) == 2
+            assert dataset.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("smd", num_services=2, train_length=128,
+                         test_length=128, seed=3)
+        b = load_dataset("smd", num_services=2, train_length=128,
+                         test_length=128, seed=3)
+        np.testing.assert_allclose(a[0].train, b[0].train)
+        np.testing.assert_array_equal(a[0].test_labels, b[0].test_labels)
+
+    def test_anomaly_ratio_matches_profile(self):
+        dataset = load_dataset("j-d2", num_services=2, train_length=512,
+                               test_length=1024)
+        ratio = np.mean([s.anomaly_ratio for s in dataset])
+        assert ratio == pytest.approx(PROFILES["j-d2"].anomaly_ratio, abs=0.03)
+
+    def test_low_diversity_services_share_template(self):
+        dataset = load_dataset("j-d2", num_services=3, train_length=256,
+                               test_length=256)
+        periods = [s.pattern.dominant_periods()[0] for s in dataset]
+        assert np.std(periods) / np.mean(periods) < 0.2
+
+    def test_smap_is_point_heavy(self):
+        from repro.data import kind_ratios
+
+        dataset = load_dataset("smap", num_services=3, train_length=512,
+                               test_length=1024)
+        point, context, _ = map(
+            float,
+            np.mean([kind_ratios(s.segments, len(s.test_labels))
+                     for s in dataset], axis=0),
+        )
+        assert point > context
+
+    def test_service_lookup(self):
+        dataset = load_dataset("smd", num_services=2, train_length=128,
+                               test_length=128)
+        sid = dataset[1].service_id
+        assert dataset.service(sid) is dataset[1]
+        with pytest.raises(KeyError):
+            dataset.service("missing")
+
+
+class TestRegistry:
+    def test_available_lists_five_profiles(self):
+        names = available_datasets()
+        assert {"smd", "j-d1", "j-d2", "smap", "mc"} <= set(names)
+
+    def test_register_and_get(self):
+        profile = DatasetProfile(name="custom-test", num_services=2,
+                                 num_features=2, train_length=64,
+                                 test_length=64, anomaly_ratio=0.1,
+                                 diversity=0.5)
+        register_profile(profile)
+        try:
+            assert get_profile("custom-test").num_services == 2
+            with pytest.raises(KeyError):
+                register_profile(profile)
+        finally:
+            PROFILES.pop("custom-test", None)
+
+
+class TestSplits:
+    def test_unified_groups_cover_all_services(self):
+        dataset = load_dataset("smd", num_services=4, train_length=128,
+                               test_length=128)
+        groups = unified_groups(dataset, group_size=2)
+        assert len(groups) == 2
+        assert sum(g.size for g in groups) == 4
+        assert groups[0].train_services == groups[0].test_services
+
+    def test_tailored_singletons(self):
+        dataset = load_dataset("smd", num_services=3, train_length=128,
+                               test_length=128)
+        singles = tailored_singletons(dataset)
+        assert len(singles) == 3
+        assert all(s.size == 1 for s in singles)
+        assert len(tailored_singletons(dataset, limit=2)) == 2
+
+    def test_transfer_pair_disjoint(self):
+        dataset = load_dataset("smd", num_services=4, train_length=128,
+                               test_length=128)
+        pair = transfer_pair(dataset, group_size=2)
+        train_ids = {s.service_id for s in pair.train_services}
+        test_ids = {s.service_id for s in pair.test_services}
+        assert not train_ids & test_ids
+
+    def test_transfer_requires_two_groups(self):
+        dataset = load_dataset("smd", num_services=2, train_length=128,
+                               test_length=128)
+        with pytest.raises(ValueError):
+            transfer_pair(dataset, group_size=10)

@@ -1,0 +1,72 @@
+"""Dataset import/export round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_dataset,
+    load_dataset_file,
+    save_dataset,
+    service_from_arrays,
+)
+
+
+class TestServiceFromArrays:
+    def test_wraps_and_normalises(self, rng):
+        train = rng.normal(5.0, 2.0, size=(300, 3))
+        test = rng.normal(5.0, 2.0, size=(200, 3))
+        labels = np.zeros(200, dtype=int)
+        labels[50:60] = 1
+        service = service_from_arrays("user-svc", train, test, labels)
+        assert service.service_id == "user-svc"
+        np.testing.assert_allclose(service.train.mean(axis=0), 0.0, atol=1e-9)
+        assert len(service.segments) == 1
+        assert service.segments[0].start == 50
+
+    def test_without_labels(self, rng):
+        service = service_from_arrays("svc", rng.normal(size=(100, 2)),
+                                      rng.normal(size=(50, 2)))
+        assert service.test_labels.sum() == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            service_from_arrays("svc", rng.normal(size=(100, 2)),
+                                rng.normal(size=(50, 3)))
+        with pytest.raises(ValueError):
+            service_from_arrays("svc", rng.normal(size=(100, 2)),
+                                rng.normal(size=(50, 2)), np.zeros(10))
+
+    def test_no_normalize_keeps_values(self, rng):
+        train = rng.normal(5.0, 2.0, size=(100, 2))
+        service = service_from_arrays("svc", train, train, normalize=False)
+        np.testing.assert_allclose(service.train, train)
+
+
+class TestDatasetRoundTrip:
+    def test_npz_roundtrip(self, tmp_path):
+        dataset = load_dataset("smd", num_services=2, train_length=128,
+                               test_length=128)
+        path = save_dataset(dataset, tmp_path / "smd.npz")
+        restored = load_dataset_file(path)
+        assert len(restored) == 2
+        assert restored.profile.name == "smd"
+        for original, clone in zip(dataset, restored):
+            assert original.service_id == clone.service_id
+            np.testing.assert_allclose(original.train, clone.train)
+            np.testing.assert_array_equal(original.test_labels,
+                                          clone.test_labels)
+            assert len(original.segments) == len(clone.segments)
+            np.testing.assert_allclose(original.normalizer.mean,
+                                       clone.normalizer.mean)
+
+    def test_restored_dataset_feeds_detectors(self, tmp_path):
+        from repro.baselines import BaselineConfig, VaeDetector
+
+        dataset = load_dataset("smd", num_services=1, train_length=256,
+                               test_length=256)
+        path = save_dataset(dataset, tmp_path / "d.npz")
+        restored = load_dataset_file(path)
+        detector = VaeDetector(BaselineConfig(epochs=1, train_stride=8))
+        detector.fit([restored[0].service_id], [restored[0].train])
+        scores = detector.score(restored[0].service_id, restored[0].test)
+        assert scores.shape == (256,)

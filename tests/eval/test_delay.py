@@ -1,0 +1,56 @@
+"""Detection-delay metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import DelayStats, delay_stats, detection_delays
+
+
+class TestDetectionDelays:
+    def test_immediate_detection(self):
+        labels = np.array([0, 1, 1, 1, 0], dtype=bool)
+        preds = np.array([0, 1, 0, 0, 0], dtype=bool)
+        assert detection_delays(preds, labels) == [0]
+
+    def test_delayed_detection(self):
+        labels = np.array([0, 1, 1, 1, 0], dtype=bool)
+        preds = np.array([0, 0, 0, 1, 0], dtype=bool)
+        assert detection_delays(preds, labels) == [2]
+
+    def test_missed_segment(self):
+        labels = np.array([1, 1, 0, 1, 1], dtype=bool)
+        preds = np.array([0, 0, 1, 0, 1], dtype=bool)
+        assert detection_delays(preds, labels) == [None, 1]
+
+    def test_alert_before_segment_does_not_count(self):
+        labels = np.array([0, 0, 1, 1], dtype=bool)
+        preds = np.array([1, 0, 0, 0], dtype=bool)
+        assert detection_delays(preds, labels) == [None]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detection_delays(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestDelayStats:
+    def test_aggregation(self):
+        labels = np.array([1, 1, 0, 1, 1, 1, 0, 1], dtype=bool)
+        preds = np.array([0, 1, 0, 1, 0, 0, 0, 0], dtype=bool)
+        stats = delay_stats(preds, labels)
+        assert stats.num_segments == 3
+        assert stats.num_detected == 2
+        assert stats.detection_rate == pytest.approx(2 / 3)
+        assert stats.mean_delay == pytest.approx(0.5)
+        assert stats.max_delay == 1.0
+
+    def test_all_missed(self):
+        labels = np.array([1, 1], dtype=bool)
+        preds = np.zeros(2, dtype=bool)
+        stats = delay_stats(preds, labels)
+        assert stats.num_detected == 0
+        assert np.isnan(stats.mean_delay)
+
+    def test_no_segments(self):
+        stats = delay_stats(np.zeros(5, dtype=bool), np.zeros(5, dtype=bool))
+        assert stats.num_segments == 0
+        assert stats.detection_rate == 0.0

@@ -1,0 +1,121 @@
+"""Metrics and the point-adjust protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    DetectionMetrics,
+    confusion_counts,
+    detection_metrics,
+    label_segments,
+    point_adjust,
+)
+
+settings.register_profile("fast", max_examples=25, deadline=None)
+settings.load_profile("fast")
+
+
+class TestLabelSegments:
+    def test_basic_runs(self):
+        labels = np.array([0, 1, 1, 0, 0, 1, 0, 1, 1, 1])
+        assert label_segments(labels) == [(1, 3), (5, 6), (7, 10)]
+
+    def test_empty_and_full(self):
+        assert label_segments(np.zeros(5)) == []
+        assert label_segments(np.ones(4)) == [(0, 4)]
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            label_segments(np.zeros((2, 2)))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_segments_cover_exactly_positive_labels(self, bits):
+        labels = np.array(bits, dtype=bool)
+        rebuilt = np.zeros_like(labels)
+        for start, stop in label_segments(labels):
+            assert stop > start
+            rebuilt[start:stop] = True
+        np.testing.assert_array_equal(rebuilt, labels)
+
+
+class TestPointAdjust:
+    def test_one_hit_marks_whole_segment(self):
+        labels = np.array([0, 1, 1, 1, 0], dtype=bool)
+        preds = np.array([0, 0, 1, 0, 0], dtype=bool)
+        np.testing.assert_array_equal(point_adjust(preds, labels),
+                                      [0, 1, 1, 1, 0])
+
+    def test_missed_segment_stays_missed(self):
+        labels = np.array([0, 1, 1, 0], dtype=bool)
+        preds = np.zeros(4, dtype=bool)
+        np.testing.assert_array_equal(point_adjust(preds, labels), preds)
+
+    def test_false_positives_untouched(self):
+        labels = np.zeros(4, dtype=bool)
+        preds = np.array([1, 0, 0, 1], dtype=bool)
+        np.testing.assert_array_equal(point_adjust(preds, labels), preds)
+
+    def test_input_not_mutated(self):
+        labels = np.array([1, 1], dtype=bool)
+        preds = np.array([1, 0], dtype=bool)
+        point_adjust(preds, labels)
+        np.testing.assert_array_equal(preds, [1, 0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            point_adjust(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                    max_size=50))
+    def test_adjustment_never_decreases_predictions(self, pairs):
+        preds = np.array([p for p, _ in pairs], dtype=bool)
+        labels = np.array([l for _, l in pairs], dtype=bool)
+        adjusted = point_adjust(preds, labels)
+        assert np.all(adjusted | ~preds)  # adjusted >= preds pointwise
+
+
+class TestConfusionAndMetrics:
+    def test_counts(self):
+        preds = np.array([1, 1, 0, 0], dtype=bool)
+        labels = np.array([1, 0, 1, 0], dtype=bool)
+        counts = confusion_counts(preds, labels)
+        assert (counts.tp, counts.fp, counts.fn, counts.tn) == (1, 1, 1, 1)
+
+    def test_metric_formulas(self):
+        from repro.eval import ConfusionCounts
+
+        metrics = DetectionMetrics.from_counts(ConfusionCounts(8, 2, 2, 88))
+        assert metrics.precision == pytest.approx(0.8)
+        assert metrics.recall == pytest.approx(0.8)
+        assert metrics.f1 == pytest.approx(0.8)
+
+    def test_zero_division_guarded(self):
+        from repro.eval import ConfusionCounts
+
+        metrics = DetectionMetrics.from_counts(ConfusionCounts(0, 0, 0, 10))
+        assert metrics.f1 == 0.0
+
+    def test_detection_metrics_with_adjustment(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.2, 0.1])
+        labels = np.array([0, 1, 1, 1, 0])
+        adjusted = detection_metrics(scores, labels, threshold=0.5)
+        raw = detection_metrics(scores, labels, threshold=0.5, adjust=False)
+        assert adjusted.recall == 1.0
+        assert raw.recall == pytest.approx(1 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detection_metrics(np.zeros(3), np.zeros(4), 0.5)
+
+    @given(seed=st.integers(0, 500))
+    def test_f1_between_precision_and_recall_extremes(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(50)
+        labels = rng.random(50) > 0.7
+        if not labels.any():
+            return
+        metrics = detection_metrics(scores, labels, 0.5)
+        assert 0.0 <= metrics.f1 <= 1.0
+        assert metrics.f1 <= max(metrics.precision, metrics.recall) + 1e-12

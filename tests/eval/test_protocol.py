@@ -1,0 +1,109 @@
+"""Experiment protocols on a tiny dataset with a trivial detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import AnomalyDetector
+from repro.data import load_dataset, tailored_singletons, transfer_pair, unified_groups
+from repro.eval import (
+    ProtocolResult,
+    ServiceResult,
+    evaluate_scores,
+    run_split,
+    run_tailored,
+    run_transfer,
+    run_unified,
+)
+
+
+class MagnitudeDetector(AnomalyDetector):
+    """Trivial detector: score = mean |x| deviation from the train mean.
+
+    Good enough to detect the injected anomalies on easy data, and cheap
+    enough to exercise every protocol path.
+    """
+
+    name = "magnitude"
+
+    def __init__(self):
+        self.fitted_ids = []
+        self.prepared_ids = []
+
+    def fit(self, service_ids, train_series):
+        self.fitted_ids = list(service_ids)
+        return self
+
+    def prepare_service(self, service_id, train_series):
+        self.prepared_ids.append(service_id)
+
+    def score(self, service_id, series):
+        return np.abs(series - series.mean(axis=0)).mean(axis=1)
+
+
+@pytest.fixture
+def dataset():
+    return load_dataset("smd", num_services=4, train_length=256,
+                        test_length=512, seed=9)
+
+
+class TestEvaluateScores:
+    def test_best_f1_strategy(self, rng):
+        labels = np.zeros(100, dtype=int)
+        labels[10:20] = 1
+        scores = labels * 3.0 + rng.random(100)
+        outcome = evaluate_scores(scores, labels, "best_f1")
+        assert outcome.metrics.f1 == 1.0
+
+    def test_pot_strategy(self, rng):
+        # POT fits the tail of the score stream itself; with a heavy clear
+        # anomaly cluster the chosen threshold must sit above the normal
+        # bulk and produce valid metrics.
+        labels = np.zeros(2000, dtype=int)
+        labels[100:200] = 1
+        scores = labels * 10.0 + np.abs(rng.normal(size=2000))
+        outcome = evaluate_scores(scores, labels, "pot")
+        assert np.isfinite(outcome.threshold)
+        assert outcome.threshold > np.median(scores)
+        assert 0.0 <= outcome.metrics.f1 <= 1.0
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_scores(rng.random(10), np.zeros(10), "magic")
+
+
+class TestProtocols:
+    def test_run_unified_covers_all_services(self, dataset):
+        result = run_unified(MagnitudeDetector, unified_groups(dataset, 2))
+        assert len(result.services) == 4
+        assert result.protocol == "unified"
+        assert 0.0 <= result.f1 <= 1.0
+        assert len(result.f1_per_service) == 4
+
+    def test_run_tailored(self, dataset):
+        result = run_tailored(MagnitudeDetector, tailored_singletons(dataset))
+        assert len(result.services) == 4
+        assert result.protocol == "tailored"
+
+    def test_run_transfer_prepares_unseen(self, dataset):
+        detectors = []
+
+        def factory():
+            detector = MagnitudeDetector()
+            detectors.append(detector)
+            return detector
+
+        result = run_transfer(factory, transfer_pair(dataset, 2))
+        assert result.protocol == "transfer"
+        detector = detectors[0]
+        assert len(detector.fitted_ids) == 2
+        assert len(detector.prepared_ids) == 2  # the unseen group
+
+    def test_run_unified_requires_groups(self):
+        with pytest.raises(ValueError):
+            run_unified(MagnitudeDetector, [])
+
+    def test_summary_and_repr(self, dataset):
+        result = run_unified(MagnitudeDetector, unified_groups(dataset, 2))
+        summary = result.summary()
+        assert summary.f1 == pytest.approx(result.f1)
+        assert "magnitude" in repr(result)

@@ -1,0 +1,80 @@
+"""AUROC / AUPRC ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import auprc, auroc, precision_recall_curve
+
+settings.register_profile("fast", max_examples=25, deadline=None)
+settings.load_profile("fast")
+
+
+class TestAuroc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert auroc(scores, labels) == 1.0
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert auroc(scores, labels) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        scores = rng.random(4000)
+        labels = rng.random(4000) > 0.8
+        assert abs(auroc(scores, labels) - 0.5) < 0.05
+
+    def test_ties_get_midrank(self):
+        scores = np.array([1.0, 1.0, 1.0, 1.0])
+        labels = np.array([0, 1, 0, 1])
+        assert auroc(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auroc(np.arange(4.0), np.zeros(4))
+
+    @given(seed=st.integers(0, 1000))
+    def test_matches_pairwise_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(40)
+        labels = rng.random(40) > 0.6
+        if labels.all() or not labels.any():
+            return
+        positives = scores[labels]
+        negatives = scores[~labels]
+        wins = (positives[:, None] > negatives[None, :]).sum()
+        ties = (positives[:, None] == negatives[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (positives.size * negatives.size)
+        assert auroc(scores, labels) == pytest.approx(expected)
+
+
+class TestAuprc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert auprc(scores, labels) == pytest.approx(1.0)
+
+    def test_lower_bound_is_prevalence(self, rng):
+        scores = rng.random(5000)
+        labels = rng.random(5000) > 0.9
+        value = auprc(scores, labels)
+        assert abs(value - labels.mean()) < 0.05
+
+    def test_curve_endpoints(self):
+        scores = np.array([0.9, 0.7, 0.5, 0.3])
+        labels = np.array([1, 0, 1, 0])
+        precision, recall = precision_recall_curve(scores, labels)
+        assert recall[-1] == 1.0
+        assert precision[0] == 1.0
+
+    @given(seed=st.integers(0, 500))
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(60)
+        labels = rng.random(60) > 0.7
+        if labels.all() or not labels.any():
+            return
+        assert 0.0 <= auprc(scores, labels) <= 1.0 + 1e-9

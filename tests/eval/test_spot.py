@@ -1,0 +1,52 @@
+"""Streaming SPOT thresholder."""
+
+import numpy as np
+import pytest
+
+from repro.eval import Spot
+
+
+@pytest.fixture
+def calibrated(rng):
+    spot = Spot(q=1e-3, level=0.98)
+    spot.initialize(np.abs(rng.normal(size=4000)))
+    return spot
+
+
+class TestSpot:
+    def test_requires_initialize(self):
+        with pytest.raises(RuntimeError):
+            Spot().step(1.0)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            Spot(q=2.0)
+
+    def test_alerts_on_extreme_score(self, calibrated):
+        assert calibrated.step(100.0)
+
+    def test_normal_scores_pass(self, calibrated, rng):
+        flags = calibrated.run(np.abs(rng.normal(size=500)))
+        assert flags.mean() < 0.02  # target alert rate is 1e-3
+
+    def test_threshold_adapts_with_excesses(self, rng):
+        spot = Spot(q=1e-3, level=0.9, refit_every=8)
+        spot.initialize(np.abs(rng.normal(size=2000)))
+        before = spot.threshold
+        # feed a stretch of moderately elevated (but sub-alert) scores
+        for _ in range(64):
+            spot.step(before * 0.9)
+        assert spot.threshold != before
+
+    def test_alert_rate_close_to_target(self, rng):
+        spot = Spot(q=5e-3, level=0.95)
+        spot.initialize(np.abs(rng.normal(size=5000)))
+        stream = np.abs(rng.normal(size=20_000))
+        rate = spot.run(stream).mean()
+        assert rate < 5e-2  # within an order of magnitude of target
+
+    def test_initialized_property(self, rng):
+        spot = Spot()
+        assert not spot.initialized
+        spot.initialize(np.abs(rng.normal(size=100)))
+        assert spot.initialized

@@ -1,0 +1,72 @@
+"""Periodicity estimation and window recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.frequency.periodicity import (
+    estimate_periods,
+    recommend_window,
+)
+
+
+def _tone(length, period, amplitude=1.0, noise=0.05, rng=None):
+    rng = rng or np.random.default_rng(0)
+    t = np.arange(length)
+    return amplitude * np.sin(2 * np.pi * t / period) + noise * rng.normal(
+        size=length
+    )
+
+
+class TestEstimatePeriods:
+    def test_finds_single_tone(self):
+        estimates = estimate_periods(_tone(1024, 32.0))
+        assert estimates
+        assert abs(estimates[0].period - 32.0) < 2.0
+        assert estimates[0].autocorrelation > 0.5
+
+    def test_orders_by_power(self, rng):
+        x = _tone(2048, 64.0, amplitude=2.0, rng=rng) + _tone(
+            2048, 16.0, amplitude=0.7, rng=rng
+        )
+        estimates = estimate_periods(x, max_candidates=3)
+        assert abs(estimates[0].period - 64.0) < 4.0
+
+    def test_white_noise_has_low_confirmation(self, rng):
+        estimates = estimate_periods(rng.normal(size=2048))
+        assert all(e.autocorrelation < 0.3 for e in estimates)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_periods(np.zeros(4))
+
+    def test_constant_series_returns_empty(self):
+        assert estimate_periods(np.ones(128)) == []
+
+    def test_duplicate_periods_suppressed(self):
+        estimates = estimate_periods(_tone(1024, 32.0), max_candidates=5)
+        periods = [e.period for e in estimates]
+        for i, a in enumerate(periods):
+            for b in periods[i + 1:]:
+                assert abs(a - b) / a >= 0.15
+
+
+class TestRecommendWindow:
+    def test_covers_dominant_period(self):
+        window = recommend_window(_tone(2048, 20.0))
+        assert 36 <= window <= 48
+        assert window % 2 == 0
+
+    def test_clamped(self):
+        assert recommend_window(_tone(2048, 4.0), minimum=16) >= 16
+        assert recommend_window(_tone(4096, 200.0), maximum=128) <= 128
+
+    def test_multivariate(self, rng):
+        series = np.stack(
+            [_tone(2048, 20.0, rng=rng), _tone(2048, 12.0, rng=rng)], axis=1
+        )
+        window = recommend_window(series)
+        assert window >= 24
+
+    def test_noise_falls_back_to_minimum(self, rng):
+        window = recommend_window(rng.normal(size=512), minimum=16)
+        assert window >= 16

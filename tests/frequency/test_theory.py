@@ -1,0 +1,151 @@
+"""The paper's closed-form results: unit values + Monte-Carlo consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency import (
+    corollary1_condition,
+    corollary1_gap_under_shift,
+    double_factorial,
+    empirical_latent_gap,
+    kl_reconstruction_error,
+    theorem1_upper_bound,
+    theorem2_gap,
+)
+
+settings.register_profile("fast", max_examples=20, deadline=None)
+settings.load_profile("fast")
+
+
+class TestDoubleFactorial:
+    @pytest.mark.parametrize("n,expected", [(-1, 1), (0, 1), (1, 1), (2, 2),
+                                            (5, 15), (6, 48), (7, 105)])
+    def test_values(self, n, expected):
+        assert double_factorial(n) == expected
+
+    def test_rejects_below_minus_one(self):
+        with pytest.raises(ValueError):
+            double_factorial(-2)
+
+    @given(n=st.integers(2, 20))
+    def test_recurrence(self, n):
+        assert double_factorial(n) == n * double_factorial(n - 2)
+
+
+class TestTheorem1:
+    def test_rejects_even_or_small_gamma(self):
+        ones = np.ones(3)
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(ones, ones, ones, 4)
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(ones, ones, ones, 1)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(np.ones(3), np.ones(2), np.ones(3), 3)
+
+    def test_bound_increases_with_variance(self):
+        mu = np.full(5, 1.0)
+        alpha = np.full(5, 0.2)
+        low = theorem1_upper_bound(mu, np.full(5, 0.2), alpha, 5)
+        high = theorem1_upper_bound(mu, np.full(5, 1.5), alpha, 5)
+        assert high > low
+
+    @given(seed=st.integers(0, 500), gamma=st.sampled_from([3, 5]))
+    def test_bound_dominates_monte_carlo_gap(self, seed, gamma):
+        """The empirical Definition-1 gap never exceeds the Theorem-1 bound.
+
+        Amplitudes are positive Gaussians (means well above 0 so the
+        positivity assumption of the proof holds).
+        """
+        rng = np.random.default_rng(seed)
+        n = 4
+        mu = rng.uniform(2.0, 4.0, size=n)
+        nu = rng.uniform(0.05, 0.3, size=n)
+        alpha = np.full(n, 1.0 / n)
+        samples = rng.normal(mu, nu, size=(4000, n))
+        empirical = empirical_latent_gap(samples, alpha, gamma)
+        bound = theorem1_upper_bound(mu, nu, alpha, gamma)
+        assert empirical <= bound + 1e-6
+
+
+class TestTheorem2:
+    def test_kl_error_formula(self):
+        q = np.array([0.5, 0.3, 0.2])
+        np.testing.assert_allclose(kl_reconstruction_error(q, 2), -np.log(0.8))
+
+    def test_kl_error_zero_with_full_spectrum(self):
+        q = np.array([0.5, 0.3, 0.2])
+        assert kl_reconstruction_error(q, 3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_error_validation(self):
+        with pytest.raises(ValueError):
+            kl_reconstruction_error(np.array([0.5, 0.2]), 1)  # not normalised
+        with pytest.raises(ValueError):
+            kl_reconstruction_error(np.array([0.5, 0.5]), 3)
+
+    def test_gap_is_difference_of_kl_errors(self):
+        q_normal = np.array([0.6, 0.25, 0.1, 0.05])
+        q_anomaly = np.array([0.3, 0.3, 0.2, 0.2])
+        k = 2
+        gap = theorem2_gap(q_normal, q_anomaly, k)
+        direct = (kl_reconstruction_error(q_anomaly, k)
+                  - kl_reconstruction_error(q_normal, k))
+        np.testing.assert_allclose(gap, direct, atol=1e-12)
+
+    def test_gap_positive_when_normal_energy_concentrated(self):
+        q_normal = np.array([0.7, 0.2, 0.05, 0.05])
+        q_anomaly = np.array([0.25, 0.25, 0.25, 0.25])
+        assert theorem2_gap(q_normal, q_anomaly, 2) > 0
+
+    def test_gap_zero_with_full_spectrum(self):
+        """Using all n bases kills the gap — the headline claim for k < n."""
+        rng = np.random.default_rng(3)
+        q_normal = rng.dirichlet(np.ones(6))
+        q_anomaly = rng.dirichlet(np.ones(6))
+        np.testing.assert_allclose(theorem2_gap(q_normal, q_anomaly, 6), 0.0,
+                                   atol=1e-12)
+
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 5))
+    def test_gap_matches_shift_model(self, seed, k):
+        """Under Assumption 1 (uniform positive shift), Corollary 1's closed
+        form agrees with Theorem 2 computed on the shifted spectrum."""
+        rng = np.random.default_rng(seed)
+        n = 6
+        amp_normal = np.sort(rng.uniform(0.5, 3.0, size=n))[::-1]
+        shift = 0.4
+        amp_anomaly = amp_normal + shift
+        q_normal = amp_normal / amp_normal.sum()
+        q_anomaly = amp_anomaly / amp_anomaly.sum()
+        gap = theorem2_gap(q_normal, q_anomaly, k)
+        closed = corollary1_gap_under_shift(q_normal, k, amp_normal.sum(), shift)
+        np.testing.assert_allclose(gap, closed, atol=1e-10)
+
+
+class TestCorollary1:
+    def test_condition_true_for_sorted_concentrated(self):
+        q = np.array([0.5, 0.3, 0.1, 0.1])
+        assert corollary1_condition(q, 2)
+
+    def test_condition_false_for_uniform(self):
+        q = np.full(5, 0.2)
+        assert not corollary1_condition(q, 2)
+
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 5))
+    def test_condition_implies_positive_gap(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = 6
+        q = np.sort(rng.dirichlet(np.ones(n)))[::-1]
+        if k >= n:
+            return
+        gap = corollary1_gap_under_shift(q, k, total_energy=10.0, shift_mean=0.5)
+        if corollary1_condition(q, k):
+            assert gap > 0
+        else:
+            assert gap <= 1e-12
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            corollary1_gap_under_shift(np.array([0.0, 1.0]), 1, 10.0, 0.5)

@@ -1,0 +1,31 @@
+"""Freed-graph protection: a second backward must fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+
+def test_second_backward_through_shared_subgraph_raises():
+    x = Tensor([2.0], requires_grad=True)
+    shared = x * 3.0
+    first = shared * 2.0
+    second = shared + 1.0
+    first.backward()
+    with pytest.raises(RuntimeError, match="already backpropagated"):
+        second.backward()
+
+
+def test_independent_graphs_keep_working():
+    x = Tensor([2.0], requires_grad=True)
+    (x * 2.0).backward()
+    (x * 3.0).backward()  # fresh graph each time: fine, grads accumulate
+    np.testing.assert_allclose(x.grad, [5.0])
+
+
+def test_backward_twice_on_same_root_raises():
+    x = Tensor([1.0], requires_grad=True)
+    y = (x * 2.0).tanh()
+    y.backward()
+    with pytest.raises(RuntimeError):
+        y.backward()

@@ -1,0 +1,176 @@
+"""Property-based gradient checks: every differentiable op vs finite
+differences on hypothesis-generated inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor, functional as F, gradcheck
+
+settings.register_profile("fast", max_examples=15, deadline=None)
+settings.load_profile("fast")
+
+
+def _tensor(shape, seed, low=-2.0, high=2.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.uniform(low, high, size=shape) + offset,
+                  requires_grad=True)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_add_mul_div(seed):
+    a = _tensor((3, 4), seed)
+    b = _tensor((3, 4), seed + 1, low=0.5, high=2.0)
+    assert gradcheck(lambda x, y: x * y + x / y - y, [a, b])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_broadcasting(seed):
+    a = _tensor((1, 4), seed)
+    b = _tensor((3, 1), seed + 1)
+    assert gradcheck(lambda x, y: x * y + x, [a, b])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_matmul(seed):
+    a = _tensor((3, 4), seed)
+    b = _tensor((4, 2), seed + 1)
+    assert gradcheck(lambda x, y: x @ y, [a, b])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_batched_matmul(seed):
+    a = _tensor((2, 3, 4), seed)
+    b = _tensor((2, 4, 2), seed + 1)
+    assert gradcheck(lambda x, y: x @ y, [a, b])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_elementwise_chain(seed):
+    x = _tensor((5,), seed, low=0.2, high=1.5)
+    assert gradcheck(lambda a: (a.exp() + a.log() + a.sqrt()).tanh(), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_sigmoid_relu(seed):
+    x = _tensor((4, 3), seed)
+    assert gradcheck(lambda a: a.sigmoid() * (a + 3.0).relu(), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_reductions(seed):
+    x = _tensor((3, 5), seed)
+    assert gradcheck(lambda a: a.sum(axis=1) * a.mean(axis=1), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_max_min(seed):
+    # Uniform floats are distinct a.s., so the subgradient choice is unique.
+    x = _tensor((4, 6), seed)
+    assert gradcheck(lambda a: a.max(axis=1) - a.min(axis=1), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_shape_ops(seed):
+    x = _tensor((2, 6), seed)
+    assert gradcheck(lambda a: a.reshape(3, 4).transpose()[1:, :2], [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_concat_stack(seed):
+    a = _tensor((2, 3), seed)
+    b = _tensor((2, 3), seed + 1)
+    assert gradcheck(lambda x, y: nn.concatenate([x, y], axis=1) * 2.0, [a, b])
+    assert gradcheck(lambda x, y: nn.stack([x, y], axis=0).sum(axis=0), [a, b])
+
+
+@given(seed=st.integers(0, 10_000), gamma=st.sampled_from([3, 5, 7]))
+def test_grad_odd_power(seed, gamma):
+    x = _tensor((6,), seed, low=0.3, high=1.5)
+    assert gradcheck(lambda a: nn.odd_power(a, gamma), [x])
+
+
+@given(seed=st.integers(0, 10_000), gamma=st.sampled_from([3, 5]))
+def test_grad_odd_root_away_from_zero(seed, gamma):
+    x = _tensor((6,), seed, low=0.5, high=2.0)
+    assert gradcheck(lambda a: nn.odd_root(a, gamma), [x], atol=1e-3)
+
+
+@given(seed=st.integers(0, 10_000),
+       stride=st.sampled_from([1, 2, 3]),
+       padding=st.sampled_from([0, 1, 2]))
+def test_grad_conv1d(seed, stride, padding):
+    x = _tensor((2, 3, 10), seed)
+    w = _tensor((4, 3, 3), seed + 1)
+    b = _tensor((4,), seed + 2)
+    assert gradcheck(
+        lambda a, ww, bb: F.conv1d(a, ww, bb, stride=stride, padding=padding),
+        [x, w, b],
+    )
+
+
+@given(seed=st.integers(0, 10_000), stride=st.sampled_from([1, 2, 3]))
+def test_grad_conv_transpose1d(seed, stride):
+    x = _tensor((2, 3, 6), seed)
+    w = _tensor((3, 2, 3), seed + 1)
+    b = _tensor((2,), seed + 2)
+    assert gradcheck(
+        lambda a, ww, bb: F.conv_transpose1d(a, ww, bb, stride=stride),
+        [x, w, b],
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_pools(seed):
+    x = _tensor((2, 3, 12), seed)
+    assert gradcheck(lambda a: F.avg_pool1d(a, 3, 2), [x])
+    assert gradcheck(lambda a: F.max_pool1d(a, 3, 2), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_softmax_logsoftmax(seed):
+    x = _tensor((3, 5), seed)
+    assert gradcheck(lambda a: F.softmax(a, axis=-1) * 3.0, [x])
+    assert gradcheck(lambda a: F.log_softmax(a, axis=-1), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_layer_norm(seed):
+    x = _tensor((4, 6), seed)
+    w = _tensor((6,), seed + 1, low=0.5, high=1.5)
+    b = _tensor((6,), seed + 2)
+    assert gradcheck(lambda a, ww, bb: F.layer_norm(a, ww, bb), [x, w, b],
+                     atol=1e-3)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_losses(seed):
+    x = _tensor((3, 4), seed)
+    target = Tensor(np.random.default_rng(seed + 9).normal(size=(3, 4)))
+    assert gradcheck(lambda a: F.mse_loss(a, target), [x])
+    assert gradcheck(lambda a: F.huber_loss(a, target, delta=0.7), [x],
+                     atol=1e-3)
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_vae_losses(seed):
+    mu = _tensor((3, 4), seed)
+    logvar = _tensor((3, 4), seed + 1, low=-1.0, high=1.0)
+    target = Tensor(np.random.default_rng(seed + 2).normal(size=(3, 4)))
+    assert gradcheck(lambda m, lv: F.gaussian_nll(m, lv, target), [mu, logvar])
+    assert gradcheck(lambda m, lv: F.kl_diag_gaussian(m, lv), [mu, logvar])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_softplus_gelu(seed):
+    x = _tensor((8,), seed)
+    assert gradcheck(lambda a: F.softplus(a, beta=1.5), [x])
+    assert gradcheck(lambda a: F.gelu(a), [x])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_where_maximum(seed):
+    a = _tensor((5,), seed)
+    b = _tensor((5,), seed + 1)
+    assert gradcheck(lambda x, y: nn.maximum(x, y) + nn.minimum(x, y), [a, b])

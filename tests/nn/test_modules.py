@@ -1,0 +1,179 @@
+"""Module system, layers, containers and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, functional as F
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered_recursively(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_reassignment_replaces_parameter(self):
+        layer = nn.Linear(2, 2)
+        layer.bias = None
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+    def test_repr_nested(self):
+        model = nn.Sequential(nn.Linear(2, 2))
+        assert "Linear" in repr(model)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
+        clone = nn.Sequential(nn.Linear(4, 8), nn.Tanh(), nn.Linear(8, 2))
+        clone.load_state_dict(model.state_dict())
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_strict_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": model.weight.data})
+
+    def test_shape_mismatch_raises(self):
+        model = nn.Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_buffers_roundtrip(self):
+        bn = nn.BatchNorm1d(4)
+        bn.update_buffer("running_mean", np.full(4, 2.0))
+        clone = nn.BatchNorm1d(4)
+        clone.load_state_dict(bn.state_dict())
+        np.testing.assert_allclose(clone.running_mean, 2.0)
+
+
+class TestLinearConv:
+    def test_linear_shapes_and_values(self, rng):
+        layer = nn.Linear(5, 3)
+        x = rng.normal(size=(7, 5))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert layer.bias is None
+
+    def test_conv1d_output_length(self):
+        conv = nn.Conv1d(2, 4, 5, stride=2, padding=1)
+        x = Tensor(np.zeros((1, 2, 20)))
+        assert conv(x).shape == (1, 4, conv.output_length(20))
+
+    def test_conv1d_matches_manual_correlation(self, rng):
+        conv = nn.Conv1d(1, 1, 3, bias=False)
+        x = rng.normal(size=10)
+        out = conv(Tensor(x[None, None]))
+        expected = np.correlate(x, conv.weight.data[0, 0], mode="valid")
+        np.testing.assert_allclose(out.data[0, 0], expected, atol=1e-12)
+
+    def test_conv_transpose_inverts_length(self):
+        down = nn.Conv1d(3, 6, 4, stride=4)
+        up = nn.ConvTranspose1d(6, 3, 4, stride=4)
+        x = Tensor(np.zeros((2, 3, 16)))
+        assert up(down(x)).shape == x.shape
+
+    def test_conv_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            nn.Conv1d(1, 1, 0)
+        with pytest.raises(ValueError):
+            F.conv1d(Tensor(np.zeros((1, 1, 2))), Tensor(np.zeros((1, 1, 5))))
+
+    def test_bilinear_shape(self, rng):
+        layer = nn.Bilinear(3, 4, 2)
+        out = layer(Tensor(rng.normal(size=(5, 3))), Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+
+
+class TestNormDropout:
+    def test_layer_norm_normalises(self, rng):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(rng.normal(2.0, 3.0, size=(10, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_batch_norm_train_vs_eval(self, rng):
+        layer = nn.BatchNorm1d(4)
+        x = Tensor(rng.normal(3.0, 2.0, size=(64, 4)))
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-7)
+        layer.eval()
+        out_eval = layer(x)
+        assert not np.allclose(out_eval.data, out.data)
+
+    def test_batch_norm_3d_input(self, rng):
+        layer = nn.BatchNorm1d(4)
+        out = layer(Tensor(rng.normal(size=(8, 4, 10))))
+        assert out.shape == (8, 4, 10)
+
+    def test_dropout_train_scales_and_eval_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((1000,)))
+        out = layer(x)
+        kept = out.data != 0
+        np.testing.assert_allclose(out.data[kept], 2.0)
+        layer.eval()
+        np.testing.assert_allclose(layer(x).data, 1.0)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestActivationsModules:
+    def test_all_activations_shapes(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        for module in (nn.ReLU(), nn.LeakyReLU(), nn.Tanh(), nn.Sigmoid(),
+                       nn.GELU(), nn.Softplus()):
+            assert module(x).shape == x.shape
+
+    def test_softplus_positive(self, rng):
+        out = nn.Softplus()(Tensor(rng.normal(size=(50,)) * 10))
+        assert np.all(out.data > 0)
+
+    def test_gelu_close_to_relu_for_large_inputs(self):
+        x = Tensor(np.array([10.0, -10.0]))
+        np.testing.assert_allclose(nn.GELU()(x).data, [10.0, 0.0], atol=1e-4)
+
+
+class TestContainers:
+    def test_sequential_iteration_indexing(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2)])
+        layers.append(nn.Linear(2, 2))
+        assert len(layers) == 2
+        assert sum(1 for _ in layers.parameters()) == 4
+        with pytest.raises(RuntimeError):
+            layers(1)

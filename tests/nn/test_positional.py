@@ -1,0 +1,51 @@
+"""Positional encoding module."""
+
+import numpy as np
+import pytest
+
+from repro.nn import PositionalEncoding, Tensor
+from repro.nn.modules.positional import sinusoidal_positions
+
+
+class TestSinusoidalTable:
+    def test_shape_and_range(self):
+        table = sinusoidal_positions(32, 16)
+        assert table.shape == (32, 16)
+        assert np.abs(table).max() <= 1.0 + 1e-12
+
+    def test_first_position_pattern(self):
+        table = sinusoidal_positions(8, 4)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)   # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)   # cos(0)
+
+    def test_positions_distinct(self):
+        table = sinusoidal_positions(64, 16)
+        distances = np.linalg.norm(table[:, None] - table[None, :], axis=-1)
+        off_diagonal = distances[~np.eye(64, dtype=bool)]
+        assert off_diagonal.min() > 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal_positions(0, 4)
+        with pytest.raises(ValueError):
+            sinusoidal_positions(4, 1)
+
+
+class TestPositionalEncoding:
+    def test_adds_table(self, rng):
+        module = PositionalEncoding(16, 8)
+        x = rng.normal(size=(2, 10, 8))
+        out = module(Tensor(x))
+        np.testing.assert_allclose(out.data,
+                                   x + sinusoidal_positions(16, 8)[None, :10])
+
+    def test_rejects_too_long(self):
+        module = PositionalEncoding(8, 4)
+        with pytest.raises(ValueError):
+            module(Tensor(np.zeros((1, 9, 4))))
+
+    def test_gradient_passthrough(self, rng):
+        module = PositionalEncoding(16, 8)
+        x = Tensor(rng.normal(size=(1, 5, 8)), requires_grad=True)
+        module(x).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)

@@ -1,0 +1,84 @@
+"""Recurrent and attention layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestGRU:
+    def test_shapes(self, rng):
+        gru = nn.GRU(3, 8)
+        outputs, final = gru(Tensor(rng.normal(size=(4, 6, 3))))
+        assert outputs.shape == (4, 6, 8)
+        assert final.shape == (4, 8)
+
+    def test_final_state_is_last_output(self, rng):
+        gru = nn.GRU(3, 8)
+        outputs, final = gru(Tensor(rng.normal(size=(2, 5, 3))))
+        np.testing.assert_allclose(outputs.data[:, -1], final.data)
+
+    def test_gradient_flows_to_first_step(self, rng):
+        gru = nn.GRU(2, 4)
+        x = Tensor(rng.normal(size=(1, 8, 2)), requires_grad=True)
+        _, final = gru(x)
+        final.sum().backward()
+        assert np.abs(x.grad[0, 0]).sum() > 0
+
+    def test_initial_state_used(self, rng):
+        gru = nn.GRU(2, 4)
+        x = Tensor(rng.normal(size=(1, 3, 2)))
+        _, fin_zero = gru(x)
+        _, fin_ones = gru(x, h0=Tensor(np.ones((1, 4))))
+        assert not np.allclose(fin_zero.data, fin_ones.data)
+
+    def test_grucell_bounded_output(self, rng):
+        cell = nn.GRUCell(3, 5)
+        h = cell(Tensor(rng.normal(size=(2, 3)) * 100),
+                 Tensor(np.zeros((2, 5))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = nn.LSTMCell(3, 6)
+        h, c = cell(Tensor(rng.normal(size=(4, 3))),
+                    (Tensor(np.zeros((4, 6))), Tensor(np.zeros((4, 6)))))
+        assert h.shape == (4, 6) and c.shape == (4, 6)
+
+
+class TestAttention:
+    def test_self_attention_shape(self, rng):
+        attention = nn.MultiheadSelfAttention(16, 4)
+        out = attention(Tensor(rng.normal(size=(2, 10, 16))))
+        assert out.shape == (2, 10, 16)
+
+    def test_attention_rows_are_distributions(self, rng):
+        attention = nn.MultiheadSelfAttention(16, 4)
+        _, weights = attention(Tensor(rng.normal(size=(2, 7, 16))),
+                               return_attention=True)
+        assert weights.shape == (2, 4, 7, 7)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(weights.data >= 0)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            nn.MultiheadSelfAttention(10, 3)
+
+    def test_anomaly_attention_prior_is_distance_gaussian(self, rng):
+        attention = nn.AnomalyAttention(16, 2)
+        _, series, prior = attention(Tensor(rng.normal(size=(1, 9, 16))))
+        np.testing.assert_allclose(prior.data.sum(axis=-1), 1.0, atol=1e-9)
+        # prior peaks on the diagonal (distance 0)
+        diag = prior.data[0, 0][np.arange(9), np.arange(9)]
+        off = prior.data[0, 0][0, -1]
+        assert np.all(diag >= off)
+
+    def test_transformer_encoder_layer(self, rng):
+        layer = nn.TransformerEncoderLayer(16, 4, ff_dim=32)
+        x = Tensor(rng.normal(size=(2, 6, 16)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 6, 16)
+        out.sum().backward()
+        assert x.grad is not None

@@ -1,0 +1,190 @@
+"""Unit tests for Tensor arithmetic, reductions and shape manipulation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar_broadcast(self):
+        out = Tensor([[1.0, 2.0]]) + 1.0
+        np.testing.assert_allclose(out.data, [[2.0, 3.0]])
+
+    def test_radd(self):
+        out = 2.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([5.0]) - 2.0).data, [3.0])
+        np.testing.assert_allclose((2.0 - Tensor([5.0])).data, [-3.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([3.0]) * Tensor([4.0])).data, [12.0])
+        np.testing.assert_allclose((Tensor([8.0]) / 2.0).data, [4.0])
+        np.testing.assert_allclose((2.0 / Tensor([8.0])).data, [0.25])
+
+    def test_neg_pow(self):
+        np.testing.assert_allclose((-Tensor([2.0])).data, [-2.0])
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        b = Tensor(np.arange(12.0).reshape(3, 4))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+    def test_matmul_batched(self, rng):
+        a = Tensor(rng.normal(size=(5, 2, 3)))
+        b = Tensor(rng.normal(size=(5, 3, 4)))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip(self, rng):
+        x = Tensor(np.abs(rng.normal(size=(4,))) + 0.5)
+        np.testing.assert_allclose(x.exp().log().data, x.data, atol=1e-12)
+
+    def test_abs_sign(self):
+        x = Tensor([-2.0, 0.0, 3.0])
+        np.testing.assert_allclose(x.abs().data, [2.0, 0.0, 3.0])
+        np.testing.assert_allclose(x.sign().data, [-1.0, 0.0, 1.0])
+
+    def test_tanh_sigmoid_ranges(self, rng):
+        x = Tensor(rng.normal(size=(100,)) * 5)
+        assert np.all(np.abs(x.tanh().data) <= 1.0)
+        assert np.all((x.sigmoid().data > 0) & (x.sigmoid().data < 1))
+
+    def test_relu(self):
+        x = Tensor([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(x.relu().data, [0.0, 0.0, 2.0])
+
+    def test_clip(self):
+        x = Tensor([-5.0, 0.5, 5.0])
+        np.testing.assert_allclose(x.clip(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(x.sum(axis=0).data, x.data.sum(axis=0))
+        assert x.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean_matches_numpy(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(x.mean(axis=1).data, x.data.mean(axis=1))
+
+    def test_var(self, rng):
+        x = Tensor(rng.normal(size=(50,)))
+        np.testing.assert_allclose(x.var().data, x.data.var(), rtol=1e-10)
+
+    def test_max_min(self, rng):
+        x = Tensor(rng.normal(size=(3, 7)))
+        np.testing.assert_allclose(x.max(axis=1).data, x.data.max(axis=1))
+        np.testing.assert_allclose(x.min(axis=0).data, x.data.min(axis=0))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)))
+        assert x.reshape(3, 4).shape == (3, 4)
+        assert x.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose_default_and_axes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+        assert x.transpose(0, 2, 1).shape == (2, 4, 3)
+        assert x.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert x.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem(self, rng):
+        x = Tensor(rng.normal(size=(5, 4)))
+        np.testing.assert_allclose(x[1:3].data, x.data[1:3])
+        np.testing.assert_allclose(x[:, 2].data, x.data[:, 2])
+
+    def test_concatenate(self, rng):
+        a, b = Tensor(rng.normal(size=(2, 3))), Tensor(rng.normal(size=(4, 3)))
+        out = nn.concatenate([a, b], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a.data, b.data]))
+
+    def test_stack(self, rng):
+        parts = [Tensor(rng.normal(size=(3,))) for _ in range(4)]
+        out = nn.stack(parts, axis=0)
+        assert out.shape == (4, 3)
+
+    def test_pad1d(self):
+        x = Tensor(np.ones((1, 1, 3)))
+        out = nn.pad1d(x, 2, 1)
+        assert out.shape == (1, 1, 6)
+        np.testing.assert_allclose(out.data[0, 0], [0, 0, 1, 1, 1, 0])
+
+    def test_pad1d_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nn.pad1d(Tensor(np.ones((1, 1, 3))), -1, 0)
+
+    def test_broadcast_to(self):
+        x = Tensor(np.ones((1, 3)))
+        assert x.broadcast_to((5, 3)).shape == (5, 3)
+
+
+class TestSelectionOps:
+    def test_where(self):
+        out = nn.where(np.array([True, False]), Tensor([1.0, 1.0]),
+                       Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_maximum_minimum(self):
+        a, b = Tensor([1.0, 5.0]), Tensor([3.0, 2.0])
+        np.testing.assert_allclose(nn.maximum(a, b).data, [3.0, 5.0])
+        np.testing.assert_allclose(nn.minimum(a, b).data, [1.0, 2.0])
+
+
+class TestOddPowerRoot:
+    def test_odd_power_matches_integer_power(self, rng):
+        x = rng.normal(size=(10,))
+        np.testing.assert_allclose(nn.odd_power(Tensor(x), 3).data, x**3,
+                                   atol=1e-12)
+
+    def test_odd_power_preserves_sign(self, rng):
+        x = rng.normal(size=(20,))
+        out = nn.odd_power(Tensor(x), 5.0)
+        np.testing.assert_array_equal(np.sign(out.data), np.sign(x))
+
+    def test_odd_root_inverts_odd_power(self, rng):
+        x = rng.normal(size=(10,))
+        roundtrip = nn.odd_root(nn.odd_power(Tensor(x), 7.0), 7.0)
+        np.testing.assert_allclose(roundtrip.data, x, atol=1e-10)
+
+
+class TestCreationHelpers:
+    def test_zeros_ones_full_arange(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones((4,)).data.sum() == 4.0
+        assert nn.full((2, 2), 7.0).data[0, 0] == 7.0
+        np.testing.assert_allclose(nn.arange(3).data, [0.0, 1.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_item_and_len(self):
+        assert Tensor([[3.0]]).item() == 3.0
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))

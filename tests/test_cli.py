@@ -1,0 +1,46 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.dataset == "smd"
+        assert args.threshold == "best_f1"
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "smd" in out and "j-d2" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--dataset", "smd", "--services", "3",
+                     "--length", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "diversity" in out and "recommended window" in out
+
+    def test_detect_small(self, capsys):
+        assert main(["detect", "--dataset", "smd", "--services", "2",
+                     "--length", "256", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--dataset", "smd", "--services", "2",
+                     "--length", "256", "--epochs", "1",
+                     "--baselines", "VAE"]) == 0
+        out = capsys.readouterr().out
+        assert "MACE" in out and "VAE" in out
+
+    def test_compare_unknown_baseline(self, capsys):
+        assert main(["compare", "--baselines", "Nope", "--services", "2",
+                     "--length", "256"]) == 2
