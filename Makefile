@@ -1,0 +1,24 @@
+# Developer entry points.  The tier-1 gate is `make check`: the repository
+# linter must be clean and the full test suite must pass.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test check-model help
+
+check: lint test
+
+lint:
+	$(PYTHON) -m repro.analysis.lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check-model:
+	$(PYTHON) -m repro check-model
+
+help:
+	@echo "make check       - lint + full test suite (tier-1 gate)"
+	@echo "make lint        - repo linter (repro.analysis.lint)"
+	@echo "make test        - pytest"
+	@echo "make check-model - static MACE shape/dtype contract check"

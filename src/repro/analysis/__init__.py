@@ -1,0 +1,36 @@
+"""``repro.analysis`` — correctness tooling for the NumPy autograd stack.
+
+Three layers, each usable on its own:
+
+* :func:`detect_anomaly` — autograd anomaly mode.  Inside the context every
+  op's forward output and backward gradients are checked for NaN/Inf and
+  the first offender is reported with per-op provenance (op name, parent
+  shapes/dtypes, creation stack).  Complemented by tape version counters in
+  :class:`repro.nn.Tensor` that make in-place mutation of a taped tensor
+  raise instead of silently corrupting gradients.
+* :func:`check_model` — static shape/dtype contract checking.  Layers
+  declare ``contract`` methods; ``check_model(model, ("N", 40, 3))``
+  validates an architecture symbolically without running any data.
+* :mod:`repro.analysis.lint` — AST lint with repo-specific rules
+  (``python -m repro.analysis.lint`` or ``repro lint``).
+"""
+
+from repro.analysis.anomaly import AnomalyError, detect_anomaly
+from repro.analysis.contracts import check_model, input_spec
+from repro.analysis.lint import Violation, lint_paths, lint_source
+from repro.analysis.spec import ContractError, Dim, TensorSpec, child_contract, merge_dtype
+
+__all__ = [
+    "AnomalyError",
+    "detect_anomaly",
+    "check_model",
+    "input_spec",
+    "ContractError",
+    "Dim",
+    "TensorSpec",
+    "child_contract",
+    "merge_dtype",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,160 @@
+"""Autograd anomaly mode: pinpoint the op that introduces a NaN/Inf.
+
+The dualistic convolution raises inputs to high odd powers and takes odd
+roots, so a single overflow or negative-intermediate mistake silently
+poisons every downstream value.  ``detect_anomaly()`` instruments the
+autograd engine through the op-hook registry in :mod:`repro.nn.autograd`:
+
+* every op's *forward* output is checked for non-finite values the moment
+  it is created, so the first raise names the op that **introduced** the
+  problem (its parents were checked before it, by construction);
+* every recorded backward closure is wrapped so the gradients it writes
+  into its parents are checked too, again naming the producing op;
+* the report carries provenance: op name, output/parent shapes and dtypes,
+  and a snippet of the user stack at op creation.
+
+The mode is a context manager and costs nothing when inactive (the engine
+checks an empty hook list).  Inside the context every op pays one
+``np.isfinite`` scan — use it to debug, not to train at scale.
+"""
+
+from __future__ import annotations
+
+import traceback
+from pathlib import Path
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.nn import autograd
+from repro.nn.tensor import Tensor
+
+__all__ = ["AnomalyError", "detect_anomaly"]
+
+_INTERNAL_DIRS = (
+    str(Path(__file__).resolve().parent),            # repro/analysis
+    str(Path(autograd.__file__).resolve().parent),   # repro/nn
+)
+
+
+class AnomalyError(RuntimeError):
+    """A non-finite value was produced by an instrumented op."""
+
+
+def _is_finite(array: np.ndarray) -> bool:
+    array = np.asarray(array)
+    if not np.issubdtype(array.dtype, np.floating):
+        return True
+    return bool(np.all(np.isfinite(array)))
+
+
+def _nonfinite_counts(array: np.ndarray) -> str:
+    array = np.asarray(array)
+    nan = int(np.isnan(array).sum())
+    inf = int(np.isinf(array).sum())
+    parts = []
+    if nan:
+        parts.append(f"{nan} NaN")
+    if inf:
+        parts.append(f"{inf} Inf")
+    return " + ".join(parts) if parts else "0 non-finite"
+
+
+def _describe_parents(parents: Iterable[Tensor]) -> str:
+    parts = []
+    for index, parent in enumerate(parents):
+        status = "finite" if _is_finite(parent.data) else "NON-FINITE"
+        parts.append(
+            f"  parent[{index}]: shape={parent.shape}, dtype={parent.dtype}, "
+            f"op='{parent._op}', values {status}"
+        )
+    return "\n".join(parts) if parts else "  (no parents)"
+
+
+def _creation_stack(limit: int = 3) -> str:
+    """Last ``limit`` user-code frames (engine internals filtered out)."""
+    frames = traceback.extract_stack()
+    user_frames = [
+        frame for frame in frames
+        if not any(frame.filename.startswith(prefix) for prefix in _INTERNAL_DIRS)
+    ]
+    snippet = user_frames[-limit:] if user_frames else frames[-limit:]
+    lines = [
+        f"  {frame.filename}:{frame.lineno} in {frame.name}: {frame.line or '?'}"
+        for frame in snippet
+    ]
+    return "\n".join(lines)
+
+
+class detect_anomaly:
+    """Context manager that raises :class:`AnomalyError` at the faulty op.
+
+    Example
+    -------
+    >>> with detect_anomaly():
+    ...     loss = model.loss(model(windows, extractor, "svc-0"))
+    ...     loss.backward()
+
+    Parameters
+    ----------
+    check_backward:
+        Also wrap backward closures so non-finite *gradients* are caught
+        and attributed to the op whose backward produced them (default).
+    """
+
+    def __init__(self, check_backward: bool = True):
+        self.check_backward = check_backward
+        self._active = False
+
+    # -- hook ----------------------------------------------------------
+    def _hook(self, out: Tensor, parents: tuple, op: str) -> None:
+        stack = _creation_stack()
+        if not _is_finite(out.data):
+            raise AnomalyError(
+                f"forward of op '{op}' produced a non-finite output "
+                f"({_nonfinite_counts(out.data)} in shape {out.shape}, "
+                f"dtype {out.dtype}).\n"
+                f"parents:\n{_describe_parents(parents)}\n"
+                f"created at:\n{stack}"
+            )
+        if self.check_backward and out._backward is not None:
+            out._backward = self._wrap_backward(out._backward, parents, op, stack)
+
+    def _wrap_backward(self, inner, parents: tuple, op: str, stack: str):
+        def checked_backward(grad):
+            if grad is not None and not _is_finite(grad):
+                raise AnomalyError(
+                    f"non-finite gradient ({_nonfinite_counts(grad)}) flowed "
+                    f"into the backward of op '{op}'; an earlier backward or "
+                    f"the seed gradient produced it.\ncreated at:\n{stack}"
+                )
+            already_bad = [
+                parent.grad is not None and not _is_finite(parent.grad)
+                for parent in parents
+            ]
+            inner(grad)
+            for index, (parent, was_bad) in enumerate(zip(parents, already_bad)):
+                if parent.grad is None or was_bad:
+                    continue
+                if not _is_finite(parent.grad):
+                    raise AnomalyError(
+                        f"backward of op '{op}' produced a non-finite gradient "
+                        f"({_nonfinite_counts(parent.grad)}) for parent[{index}] "
+                        f"(shape {parent.shape}, dtype {parent.dtype}, "
+                        f"op '{parent._op}').\nop created at:\n{stack}"
+                    )
+
+        return checked_backward
+
+    # -- context protocol ----------------------------------------------
+    def __enter__(self) -> "detect_anomaly":
+        if self._active:
+            raise RuntimeError("detect_anomaly context is not reentrant")
+        autograd.register_op_hook(self._hook)
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> Optional[bool]:
+        autograd.unregister_op_hook(self._hook)
+        self._active = False
+        return None

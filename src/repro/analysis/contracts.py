@@ -1,0 +1,64 @@
+"""Static shape/dtype contract checking over ``Module`` trees.
+
+Every layer in ``repro.nn.modules`` and the MACE modules in ``repro.core``
+declare a ``contract(spec) -> spec`` method (see
+:mod:`repro.analysis.spec`): given the static type of the input —
+:class:`~repro.analysis.spec.TensorSpec`, a shape of concrete ints and
+symbolic dims plus a dtype — the method returns the output spec or raises
+:class:`~repro.analysis.spec.ContractError`.  Composite modules chain
+their children through :func:`~repro.analysis.spec.child_contract`, which
+builds the dotted path reported on failure (``peak_branch.encoder``).
+
+:func:`check_model` is the entry point: it validates an architecture
+without running any data — catching dimension mismatches, silent
+broadcasting (e.g. a ``LayerNorm`` width that would broadcast instead of
+normalise) and silent dtype promotion to float64 — in microseconds rather
+than a forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.analysis.spec import ContractError, Dim, TensorSpec
+
+__all__ = ["check_model", "input_spec"]
+
+ShapeLike = Sequence[Union[int, str, Dim]]
+
+
+def input_spec(shape: ShapeLike, dtype="float64") -> TensorSpec:
+    """Build a :class:`TensorSpec` from a shape of ints and symbol names.
+
+    Strings become symbolic dims: ``input_spec(("N", 40, 3))`` is a batch
+    of 40-step, 3-feature windows with a free batch size.
+    """
+    return TensorSpec(shape, dtype=dtype)
+
+
+def check_model(model, spec: Union[TensorSpec, ShapeLike], *args, **kwargs):
+    """Statically validate ``model`` against an input spec.
+
+    Parameters
+    ----------
+    model:
+        Any module declaring a ``contract`` method (all ``repro.nn`` layers
+        and the MACE ``repro.core`` modules do).
+    spec:
+        A :class:`TensorSpec` or a plain shape, e.g. ``("N", 40, 3)``.
+    *args, **kwargs:
+        Extra positional/keyword contract arguments for modules whose
+        forward takes more than one input.
+
+    Returns the inferred output spec (or tuple of specs) on success and
+    raises :class:`ContractError` naming the offending submodule path on
+    failure.
+    """
+    if not isinstance(spec, TensorSpec):
+        spec = input_spec(spec)
+    contract = getattr(model, "contract", None)
+    if contract is None:
+        raise ContractError(
+            f"{type(model).__name__} does not declare a shape contract"
+        )
+    return contract(spec, *args, **kwargs)

@@ -1,0 +1,359 @@
+"""AST-based repository linter with repo-specific correctness rules.
+
+Run as ``python -m repro.analysis.lint [paths...]`` (or ``repro lint``).
+With no paths it lints the defaults from ``pyproject.toml``'s
+``[tool.repro.lint]`` table, falling back to ``src tests benchmarks
+examples``.  Exit status is 0 when clean, 1 when any rule fired.
+
+Rules
+-----
+``REP101`` bare ``np.random.*`` call
+    Module-level NumPy randomness (``np.random.rand``, ``np.random.seed``,
+    ...) bypasses the seeded generators in :mod:`repro.nn.random` and makes
+    experiments irreproducible.  ``np.random.default_rng`` /
+    ``np.random.Generator`` / ``np.random.SeedSequence`` are the sanctioned
+    constructors.
+
+``REP102`` ``.data`` mutation outside sanctioned helpers
+    Assigning to ``tensor.data`` (or a slice of it) mutates a tensor that
+    may already be recorded on an autograd tape, silently corrupting
+    gradients.  Only the engine itself, the optimizers, state-dict loading
+    and gradcheck are allowed to do this (see ``SANCTIONED_DATA_FILES``).
+
+``REP103`` float32 literal in library code
+    The substrate is float64 end to end; a stray ``np.float32`` or
+    ``dtype="float32"`` introduces silent mixed-precision promotion in hot
+    paths.
+
+``REP104`` missing ``__all__`` in public library module
+    Every public module under ``src/`` must declare its export surface so
+    the API is auditable and star-imports stay bounded.
+
+A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
+suppresses a violation — reserved for code that deliberately exercises the
+forbidden pattern, e.g. tests of the tape-mutation guard itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+__all__ = ["Violation", "lint_source", "lint_paths", "main", "RULES"]
+
+RULES = {
+    "REP101": "bare np.random.* call (use repro.nn.random / default_rng)",
+    "REP102": ".data mutation of a tensor outside sanctioned helpers",
+    "REP103": "float32 literal in library code (substrate is float64)",
+    "REP104": "public library module without __all__",
+}
+
+# np.random attributes that are constructors of seeded generators, not
+# draws from the hidden global stream.
+ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                     "PCG64", "Philox", "SFC64", "MT19937"}
+
+# Files allowed to assign to ``<tensor>.data``: the autograd engine itself,
+# in-place parameter updates, state loading, and numerical perturbation.
+SANCTIONED_DATA_FILES = (
+    "nn/tensor.py",
+    "nn/optim.py",
+    "nn/modules/base.py",
+    "nn/serialization.py",
+    "nn/gradcheck.py",
+)
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _numpy_aliases(tree: ast.AST) -> set:
+    """Names the module binds to the numpy package (``np``, ``numpy``)."""
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    aliases.add(item.asname or "numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for item in node.names:
+                    if item.name == "random":
+                        aliases.add(f"{item.asname or 'random'}#random")
+    return aliases
+
+
+def _is_np_random(node: ast.expr, aliases: set) -> bool:
+    """True when ``node`` is ``np.random`` / ``numpy.random`` (or an alias)."""
+    if isinstance(node, ast.Attribute) and node.attr == "random":
+        return isinstance(node.value, ast.Name) and node.value.id in aliases
+    if isinstance(node, ast.Name):
+        return f"{node.id}#random" in aliases
+    return False
+
+
+def _check_bare_random(tree: ast.AST, path: str, out: List[Violation]) -> None:
+    aliases = _numpy_aliases(tree)
+    if not aliases:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr not in ALLOWED_NP_RANDOM
+                and _is_np_random(func.value, aliases)):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP101",
+                f"np.random.{func.attr}() draws from the unseeded global "
+                "stream; use repro.nn.random.default_rng() or pass a "
+                "Generator",
+            ))
+
+
+def _data_target(node: ast.expr) -> ast.Attribute | None:
+    """The ``<expr>.data`` attribute inside an assignment target, if any."""
+    if isinstance(node, ast.Attribute) and node.attr == "data":
+        return node
+    if isinstance(node, ast.Subscript):
+        return _data_target(node.value)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for element in node.elts:
+            found = _data_target(element)
+            if found is not None:
+                return found
+    return None
+
+
+def _check_data_mutation(tree: ast.AST, path: str, out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if any(normalized.endswith(allowed) for allowed in SANCTIONED_DATA_FILES):
+        return
+    for node in ast.walk(tree):
+        targets: Iterable[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = (node.target,)
+        else:
+            continue
+        for target in targets:
+            attr = _data_target(target)
+            if attr is None:
+                continue
+            # ``self.data = ...`` inside a non-Tensor class is common and
+            # unrelated; only flag when the object looks like a tensor
+            # access, i.e. anything that is not a dataclass-style
+            # ``self.data`` plain assignment.
+            if (isinstance(attr.value, ast.Name) and attr.value.id == "self"
+                    and isinstance(node, ast.Assign)
+                    and not isinstance(target, ast.Subscript)):
+                continue
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP102",
+                "mutating `.data` can silently corrupt gradients of a "
+                "tensor already on the autograd tape; use sanctioned "
+                "helpers (optimizer step, load_state_dict) instead",
+            ))
+
+
+def _check_float32(tree: ast.AST, path: str, out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in ("float32", "single")
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("np", "numpy")):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP103",
+                "np.float32 in library code mixes precisions with the "
+                "float64 substrate; drop the dtype or use float64",
+            ))
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (keyword.arg == "dtype"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value == "float32"):
+                    out.append(Violation(
+                        path, keyword.value.lineno, keyword.value.col_offset,
+                        "REP103",
+                        'dtype="float32" in library code mixes precisions '
+                        "with the float64 substrate",
+                    ))
+
+
+def _has_public_definitions(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if not node.name.startswith("_"):
+                return True
+    return False
+
+
+def _check_missing_all(tree: ast.Module, path: str, out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    name = Path(path).name
+    if name.startswith("_") and name != "__init__.py":
+        return
+    if not _has_public_definitions(tree):
+        return
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return
+    out.append(Violation(
+        path, 1, 0, "REP104",
+        "public library module defines classes/functions but no __all__",
+    ))
+
+
+_CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
+           _check_missing_all)
+
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
+    """True when the violation's line carries a matching ``# noqa`` comment."""
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _NOQA.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # bare "# noqa" silences everything on the line
+    return violation.code in {c.strip().upper() for c in codes.split(",")}
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Sequence[str] | None = None) -> List[Violation]:
+    """Lint one module's source text; returns violations sorted by line.
+
+    A ``# noqa: REP102`` comment on the offending line (or a bare
+    ``# noqa``) suppresses the violation — for the handful of places that
+    *test* the forbidden patterns.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Violation(path, error.lineno or 1, error.offset or 0,
+                          "REP000", f"syntax error: {error.msg}")]
+    violations: List[Violation] = []
+    for check in _CHECKS:
+        check(tree, path, violations)
+    lines = source.splitlines()
+    violations = [v for v in violations if not _suppressed(v, lines)]
+    if select:
+        violations = [v for v in violations if v.code in select]
+    return sorted(violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file() and root.suffix == ".py":
+            yield root
+        elif root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {entry}")
+
+
+def lint_paths(paths: Sequence[str],
+               select: Sequence[str] | None = None) -> List[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: List[Violation] = []
+    for file_path in _iter_python_files(paths):
+        violations.extend(
+            lint_source(file_path.read_text(encoding="utf-8"),
+                        str(file_path), select=select)
+        )
+    return violations
+
+
+def _default_paths() -> List[str]:
+    """Paths from ``[tool.repro.lint] paths`` in pyproject.toml, if present."""
+    pyproject = Path("pyproject.toml")
+    if pyproject.is_file():
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - python < 3.11
+            tomllib = None
+        if tomllib is not None:
+            config = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+            configured = (config.get("tool", {}).get("repro", {})
+                          .get("lint", {}).get("paths"))
+            if configured:
+                return [p for p in configured if Path(p).exists()]
+    return [p for p in DEFAULT_PATHS if Path(p).exists()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.lint",
+        description="repo-specific AST lint (reproducibility + tape safety)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: [tool.repro.lint] "
+                             "paths, else src tests benchmarks examples)")
+    parser.add_argument("--select", nargs="+", metavar="CODE",
+                        help="only report these rule codes")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, description in sorted(RULES.items()):
+            print(f"{code}: {description}")
+        return 0
+
+    if args.select:
+        unknown = sorted(set(args.select) - set(RULES))
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(sorted(RULES))}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        print("no lintable paths found", file=sys.stderr)
+        return 2
+    try:
+        violations = lint_paths(paths, select=args.select)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation)
+    checked = sum(1 for _ in _iter_python_files(paths))
+    status = "clean" if not violations else f"{len(violations)} violation(s)"
+    print(f"linted {checked} file(s) under {' '.join(paths)}: {status}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""Shape/dtype contract primitives for static model checking.
+
+This is a *leaf* module: it imports only NumPy so that every layer in
+``repro.nn`` and ``repro.core`` can declare its input/output contract
+(``Module.contract``) without creating an import cycle with the rest of
+``repro.analysis``.
+
+A :class:`Dim` is either a concrete integer or a symbolic monomial
+``coeff * sym1 * sym2 * ...`` (e.g. the batch axis ``N`` or the flattened
+``3*N`` after a reshape).  That is exactly the algebra the MACE graph needs:
+batch dims flow through reshapes as whole factors while window lengths and
+channel counts stay concrete, so convolution arithmetic
+``(L + 2p - k) // s + 1`` remains decidable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Dim", "TensorSpec", "ContractError", "child_contract", "merge_dtype"]
+
+DimLike = Union["Dim", int, str]
+
+
+class ContractError(ValueError):
+    """A module's declared contract was violated by the incoming spec.
+
+    Carries the dotted submodule path (built up by :func:`child_contract`
+    as the error propagates out of a module tree) so the offending layer is
+    named exactly, e.g. ``peak_branch.encoder``.
+    """
+
+    def __init__(self, message: str, path: Iterable[str] = ()):
+        self.message = message
+        self.path = list(path)
+        super().__init__(message)
+
+    def push(self, name: str) -> "ContractError":
+        """Prepend a submodule name to the error's path and return self."""
+        self.path.insert(0, name)
+        return self
+
+    def __str__(self) -> str:
+        location = ".".join(self.path)
+        return f"[{location}] {self.message}" if location else self.message
+
+
+class Dim:
+    """A tensor dimension: a concrete int or a symbolic monomial.
+
+    Supports exactly the arithmetic static shape inference needs:
+    multiplication by ints and other dims (reshape products), exact floor
+    division (un-flattening, strided convolutions), and addition/subtraction
+    of ints on concrete dims (padding / kernel arithmetic).  Operations that
+    would require a full symbolic algebra (e.g. ``N + 1``) raise
+    :class:`ContractError` instead of guessing.
+    """
+
+    __slots__ = ("coeff", "syms")
+
+    def __init__(self, value: DimLike = 1, syms: Tuple[str, ...] = ()):
+        if isinstance(value, Dim):
+            self.coeff, self.syms = value.coeff, value.syms
+            return
+        if isinstance(value, str):
+            if not value:
+                raise ContractError("symbolic dim name must be non-empty")
+            self.coeff, self.syms = 1, (value,) + tuple(syms)
+            return
+        if isinstance(value, (bool, float)) or not isinstance(value, (int, np.integer)):
+            raise ContractError(f"dim must be an int or symbol name, got {value!r}")
+        if value < 0:
+            raise ContractError(f"dim must be non-negative, got {value}")
+        self.coeff, self.syms = int(value), tuple(sorted(syms))
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_concrete(self) -> bool:
+        return not self.syms
+
+    @property
+    def value(self) -> int:
+        if self.syms:
+            raise ContractError(f"dim {self} is symbolic, not concrete")
+        return self.coeff
+
+    # -- algebra -------------------------------------------------------
+    def __mul__(self, other: DimLike) -> "Dim":
+        other = other if isinstance(other, Dim) else Dim(other)
+        out = Dim(self.coeff * other.coeff)
+        out.syms = tuple(sorted(self.syms + other.syms))
+        return out
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: DimLike) -> "Dim":
+        other = other if isinstance(other, Dim) else Dim(other)
+        if other.syms:
+            # N*k // N -> k : cancel common symbolic factors exactly.
+            remaining = list(self.syms)
+            for sym in other.syms:
+                if sym not in remaining:
+                    raise ContractError(f"cannot divide {self} by {other}")
+                remaining.remove(sym)
+            if other.coeff == 0 or self.coeff % other.coeff:
+                raise ContractError(f"cannot divide {self} by {other} exactly")
+            out = Dim(self.coeff // other.coeff)
+            out.syms = tuple(sorted(remaining))
+            return out
+        if other.coeff == 0:
+            raise ContractError("division of a dim by zero")
+        if not self.syms:
+            return Dim(self.coeff // other.coeff)
+        if self.coeff % other.coeff:
+            raise ContractError(
+                f"cannot divide symbolic dim {self} by {other.coeff} exactly"
+            )
+        out = Dim(self.coeff // other.coeff)
+        out.syms = self.syms
+        return out
+
+    def _offset(self, amount: int, op: str) -> "Dim":
+        if not isinstance(amount, (int, np.integer)):
+            raise ContractError(f"cannot {op} {amount!r} to dim {self}")
+        if self.syms:
+            if amount == 0:
+                return self
+            raise ContractError(
+                f"cannot {op} a constant to symbolic dim {self}; "
+                "supply a concrete size for this axis"
+            )
+        return Dim(self.coeff + int(amount))
+
+    def __add__(self, other) -> "Dim":
+        return self._offset(other, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Dim":
+        return self._offset(-other, "subtract")
+
+    # -- comparison / display ------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, np.integer)):
+            return self.is_concrete and self.coeff == int(other)
+        if isinstance(other, str):
+            return self.coeff == 1 and self.syms == (other,)
+        if isinstance(other, Dim):
+            return self.coeff == other.coeff and self.syms == other.syms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.coeff, self.syms))
+
+    def __repr__(self) -> str:
+        if not self.syms:
+            return str(self.coeff)
+        symbols = "*".join(self.syms)
+        return symbols if self.coeff == 1 else f"{self.coeff}*{symbols}"
+
+
+class TensorSpec:
+    """A tensor's static type: shape (tuple of :class:`Dim`) plus dtype."""
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape: Iterable[DimLike], dtype=np.float64):
+        self.shape: Tuple[Dim, ...] = tuple(
+            d if isinstance(d, Dim) else Dim(d) for d in shape
+        )
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def numel(self) -> Dim:
+        total = Dim(1)
+        for dim in self.shape:
+            total = total * dim
+        return total
+
+    def with_shape(self, shape: Iterable[DimLike], dtype=None) -> "TensorSpec":
+        return TensorSpec(shape, self.dtype if dtype is None else dtype)
+
+    # -- assertions used by module contracts ---------------------------
+    def require_ndim(self, ndim: int, who: str) -> "TensorSpec":
+        if self.ndim != ndim:
+            raise ContractError(
+                f"{who} expects a {ndim}-D input, got {self.ndim}-D {self}"
+            )
+        return self
+
+    def require_axis(self, axis: int, expected: DimLike, who: str,
+                     axis_name: str = "axis") -> "TensorSpec":
+        expected = expected if isinstance(expected, Dim) else Dim(expected)
+        if self.shape[axis] != expected:
+            raise ContractError(
+                f"{who} expects {axis_name} (axis {axis}) of size {expected}, "
+                f"got {self.shape[axis]} in {self}"
+            )
+        return self
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TensorSpec):
+            return NotImplemented
+        return self.shape == other.shape and self.dtype == other.dtype
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.dtype))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(repr(d) for d in self.shape)
+        return f"TensorSpec(({dims}), {self.dtype})"
+
+
+def merge_dtype(spec: TensorSpec, *operands, who: str) -> np.dtype:
+    """Result dtype of combining ``spec`` with parameter/operand dtypes.
+
+    Raises :class:`ContractError` when NumPy promotion would *silently
+    change the activation dtype* (the classic float32-input-meets-float64-
+    weight upcast that doubles memory and hides precision bugs).
+    Promotion of a parameter up to the activation dtype is fine.
+    """
+    dtypes = [np.dtype(getattr(op, "dtype", op)) for op in operands]
+    result = np.result_type(spec.dtype, *dtypes) if dtypes else spec.dtype
+    if result != spec.dtype:
+        raise ContractError(
+            f"{who} silently promotes activations from {spec.dtype} to "
+            f"{result} (operand dtypes: {[str(d) for d in dtypes]})"
+        )
+    return result
+
+
+def child_contract(name: str, module, spec, *args, **kwargs):
+    """Run a submodule's contract, tagging errors with the child's name."""
+    contract = getattr(module, "contract", None)
+    if contract is None:
+        raise ContractError(
+            f"{type(module).__name__} does not declare a shape contract",
+            path=[name],
+        )
+    try:
+        return contract(spec, *args, **kwargs)
+    except ContractError as error:
+        raise error.push(name)

@@ -10,6 +10,10 @@ Commands
     Run MACE against selected baselines under the unified protocol.
 ``analyze``
     Dataset diagnostics: diversity, anomaly composition, recommended window.
+``lint``
+    Repository lint (``repro.analysis.lint``) over the configured paths.
+``check-model``
+    Statically validate the MACE architecture's shape/dtype contracts.
 """
 
 from __future__ import annotations
@@ -48,6 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="dataset diagnostics")
     _add_dataset_args(analyze)
+
+    lint = sub.add_parser("lint", help="run the repository linter")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default: configured paths)")
+    lint.add_argument("--select", nargs="+", metavar="RULE",
+                      help="only check the given rule codes")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the available rules and exit")
+
+    check = sub.add_parser(
+        "check-model", help="statically validate MACE shape/dtype contracts"
+    )
+    check.add_argument("--window", type=int, default=40)
+    check.add_argument("--num-bases", type=int, default=10)
+    check.add_argument("--channels", type=int, default=8)
+    check.add_argument("--features", type=int, default=3,
+                       help="number of series per service window (m)")
+    check.add_argument("--batch", default="N",
+                       help="batch size: an int or a symbol name (default N)")
     return parser
 
 
@@ -157,11 +180,45 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint
+
+    argv: List[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", *args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint.main(argv)
+
+
+def _cmd_check_model(args) -> int:
+    from repro.analysis import check_model, input_spec
+    from repro.analysis.spec import ContractError
+    from repro.core import MaceConfig, MaceModel
+
+    config = MaceConfig(window=args.window, num_bases=args.num_bases,
+                        channels=args.channels)
+    try:
+        batch = int(args.batch)
+    except ValueError:
+        batch = args.batch  # a symbol name, e.g. "N"
+    try:
+        spec = input_spec((batch, args.window, args.features))
+        out = check_model(MaceModel(config), spec)
+    except ContractError as error:
+        print(f"contract violation: {error}", file=sys.stderr)
+        return 1
+    print(f"ok: {spec} -> {out}")
+    return 0
+
+
 _COMMANDS = {
     "list-datasets": _cmd_list_datasets,
     "detect": _cmd_detect,
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
+    "check-model": _cmd_check_model,
 }
 
 

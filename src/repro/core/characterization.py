@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.frequency.context_aware import ServiceSubspace
 from repro.nn.modules.activations import Tanh
 from repro.nn.modules.base import Module
@@ -68,6 +69,14 @@ class FrequencyCharacterization(Module):
         if key not in self._marker_cache:
             self._marker_cache[key] = frequency_marker_channels(subspace)
         return self._marker_cache[key]
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        """``(N, m, 2k) -> (N*m, channels, 2k)`` representation."""
+        spec.require_ndim(3, "FrequencyCharacterization")
+        n, m, width = spec.shape
+        in_channels = 3 if self.use_markers else 1
+        flat = spec.with_shape((n * m, in_channels, width))
+        return child_contract("conv", self.conv, flat)
 
     def forward(self, coeffs: Tensor, subspace: ServiceSubspace) -> Tensor:
         n, m, width = coeffs.shape

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, child_contract, merge_dtype
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.modules.base import Module
@@ -160,6 +161,22 @@ class DualisticConv1d(Module):
             root = root - Tensor(correction[None, :, None])
         return root * sign
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "DualisticConv1d")
+        spec.require_axis(1, self.in_channels, "DualisticConv1d", "in_channels")
+        padded = spec.shape[-1] + 2 * self.padding
+        if padded.is_concrete and padded.value < self.kernel_size:
+            raise ContractError(
+                f"DualisticConv1d: padded length {padded} is smaller than "
+                f"the kernel {self.kernel_size}"
+            )
+        out_length = (padded - self.kernel_size) // self.stride + 1
+        kernel = self.weight if self.learnable else self.fixed_weight
+        dtype = merge_dtype(spec, kernel, who="DualisticConv1d")
+        return spec.with_shape(
+            (spec.shape[0], self.out_channels, out_length), dtype
+        )
+
     def output_length(self, length: int) -> int:
         return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
 
@@ -211,6 +228,19 @@ class TimeDomainAmplifier(Module):
             1, 1, kernel_size, stride=1, gamma=gamma, sigma=sigma, mode="valley",
             shift=shift, padding=kernel_size // 2, learnable=False,
         )
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "TimeDomainAmplifier")
+        n, t, m = spec.shape
+        flat = spec.with_shape((n * m, 1, t))
+        peak = child_contract("peak", self.peak, flat)
+        valley = child_contract("valley", self.valley, flat)
+        if peak.shape != flat.shape or valley.shape != flat.shape:
+            raise ContractError(
+                "TimeDomainAmplifier branches must preserve the window "
+                f"length: {flat} -> peak {peak}, valley {valley}"
+            )
+        return spec
 
     def forward(self, x: Tensor) -> Tensor:
         """``(N, T, m) -> (N, T, m)`` amplified windows."""

@@ -20,6 +20,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, child_contract
 from repro.core.characterization import FrequencyCharacterization
 from repro.core.dualistic import DualisticConv1d, TimeDomainAmplifier
 from repro.core.pattern_extraction import PatternExtractor
@@ -119,6 +120,31 @@ class _Branch(Module):
         self.activation = LeakyReLU(0.1)
         self.head = Conv1d(channels, 1, 1, rng=rng)
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        """``(N*m, C, 2k) -> (N*m, 2k)`` reconstructed spectrum."""
+        spec.require_ndim(3, "_Branch")
+        width = spec.shape[-1]
+        if not width.is_concrete:
+            raise ContractError(
+                f"_Branch requires a concrete spectrum width, got {width}"
+            )
+        remainder = width.value % self.kernel
+        padded_width = width.value + (self.kernel - remainder if remainder else 0)
+        padded = spec.with_shape(spec.shape[:-1] + (padded_width,))
+        latent = child_contract("encoder", self.encoder, padded)
+        decoded = child_contract(
+            "activation", self.activation,
+            child_contract("decoder", self.decoder, latent),
+        )
+        spectrum = child_contract("head", self.head, decoded)
+        out_width = spectrum.shape[-1]
+        if out_width.is_concrete and out_width.value < width.value:
+            raise ContractError(
+                f"_Branch: decoded width {out_width} is narrower than the "
+                f"input spectrum width {width}"
+            )
+        return spectrum.with_shape((spec.shape[0], width))
+
     def forward(self, representation: Tensor, width: int) -> Tensor:
         """``(N*m, C, 2k) -> (N*m, 2k)`` reconstructed spectrum."""
         remainder = representation.shape[-1] % self.kernel
@@ -149,6 +175,37 @@ class MaceModel(Module):
         )
         self.peak_branch = _Branch(config, "peak", rng=rng)
         self.valley_branch = _Branch(config, "valley", rng=rng)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        """Validate the full four-stage pipeline on ``(N, T, m)`` windows.
+
+        Returns the reconstruction spec, which equals the input spec (the
+        context-aware IDFT synthesises back to the time domain).
+        """
+        spec.require_ndim(3, "MaceModel")
+        spec.require_axis(1, self.config.window, "MaceModel", "window")
+        amplified = spec
+        if self.config.use_time_amplifier:
+            amplified = child_contract("amplifier", self.amplifier, spec)
+            if amplified.shape != spec.shape:
+                raise ContractError(
+                    f"amplifier must preserve the window batch shape: "
+                    f"{spec} -> {amplified}"
+                )
+        n, _, m = amplified.shape
+        width = 2 * self.config.num_bases
+        coeffs = amplified.with_shape((n, m, width))
+        representation = child_contract(
+            "characterization", self.characterization, coeffs
+        )
+        for name in ("peak_branch", "valley_branch"):
+            spectrum = child_contract(name, getattr(self, name), representation)
+            if spectrum.numel() != coeffs.numel():
+                raise ContractError(
+                    f"{name} output {spectrum} cannot reshape back to the "
+                    f"coefficient block {coeffs}"
+                )
+        return spec.with_shape(spec.shape, representation.dtype)
 
     def forward(self, windows: Tensor, extractor: PatternExtractor,
                 service_id: str) -> MaceOutput:

@@ -12,16 +12,54 @@ The design mirrors the familiar PyTorch semantics at a much smaller scale:
 * calling ``backward()`` on a tensor performs a depth-first topological sort
   of the recorded graph and invokes the closures in reverse order;
 * gradients accumulate additively into ``tensor.grad``.
+
+It also hosts the *op hook* registry used by
+:func:`repro.analysis.detect_anomaly`: a hook is called once per created op
+output (``hook(out, parents, op)``) and may inspect the result or wrap its
+backward closure.  The registry is empty in normal operation, so the hot
+path pays only a truthiness check per op.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Iterable, Iterator, List, Set
+from typing import Callable, Iterable, Iterator, List, Set
 
-__all__ = ["is_grad_enabled", "no_grad", "enable_grad", "topological_order"]
+__all__ = [
+    "is_grad_enabled",
+    "no_grad",
+    "enable_grad",
+    "topological_order",
+    "register_op_hook",
+    "unregister_op_hook",
+    "op_hooks",
+]
 
 _GRAD_ENABLED = True
+
+_OP_HOOKS: List[Callable] = []
+
+
+def register_op_hook(hook: Callable) -> Callable:
+    """Register ``hook(out, parents, op)`` to observe every op creation.
+
+    Hooks run after the output tensor is fully constructed (graph recorded,
+    if grad is enabled) and may raise to abort, or rebind ``out._backward``
+    to instrument the backward pass.  Returns the hook for symmetry with
+    :func:`unregister_op_hook`.
+    """
+    _OP_HOOKS.append(hook)
+    return hook
+
+
+def unregister_op_hook(hook: Callable) -> None:
+    """Remove a hook registered with :func:`register_op_hook`."""
+    _OP_HOOKS.remove(hook)
+
+
+def op_hooks() -> List[Callable]:
+    """The live hook list (shared, ordered; treat as read-only)."""
+    return _OP_HOOKS
 
 
 def is_grad_enabled() -> bool:

@@ -13,19 +13,26 @@ __all__ = ["numerical_gradient", "gradcheck"]
 
 def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
                        index: int, eps: float = 1e-5) -> np.ndarray:
-    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Perturbs elements through ``np.nditer`` with ``multi_index`` so the
+    writes always reach the tensor's own storage.  (``reshape(-1)`` would
+    silently return a *copy* for non-contiguous arrays — e.g. transposed or
+    strided views — and the perturbation would never be seen by ``fn``.)
+    """
     target = inputs[index]
     grad = np.zeros_like(target.data)
-    flat = target.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
+    iterator = np.nditer(target.data, flags=["multi_index", "zerosize_ok"])
+    while not iterator.finished:
+        position = iterator.multi_index
+        original = target.data[position]
+        target.data[position] = original + eps
         upper = float(fn(*inputs).data.sum())
-        flat[i] = original - eps
+        target.data[position] = original - eps
         lower = float(fn(*inputs).data.sum())
-        flat[i] = original
-        grad_flat[i] = (upper - lower) / (2.0 * eps)
+        target.data[position] = original
+        grad[position] = (upper - lower) / (2.0 * eps)
+        iterator.iternext()
     return grad
 
 

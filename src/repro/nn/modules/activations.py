@@ -2,19 +2,27 @@
 
 from __future__ import annotations
 
+from repro.analysis.spec import TensorSpec
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Tensor
 
-__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid", "GELU", "Softplus"]
+__all__ = ["Elementwise", "ReLU", "LeakyReLU", "Tanh", "Sigmoid", "GELU", "Softplus"]
 
 
-class ReLU(Module):
+class Elementwise(Module):
+    """Base for activations: elementwise, so the shape contract is identity."""
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        return spec
+
+
+class ReLU(Elementwise):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
 
-class LeakyReLU(Module):
+class LeakyReLU(Elementwise):
     def __init__(self, negative_slope: float = 0.01):
         super().__init__()
         self.negative_slope = negative_slope
@@ -23,22 +31,22 @@ class LeakyReLU(Module):
         return F.leaky_relu(x, self.negative_slope)
 
 
-class Tanh(Module):
+class Tanh(Elementwise):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
 
-class Sigmoid(Module):
+class Sigmoid(Elementwise):
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
 
 
-class GELU(Module):
+class GELU(Elementwise):
     def forward(self, x: Tensor) -> Tensor:
         return F.gelu(x)
 
 
-class Softplus(Module):
+class Softplus(Elementwise):
     def __init__(self, beta: float = 1.0):
         super().__init__()
         self.beta = beta

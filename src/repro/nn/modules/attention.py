@@ -11,6 +11,7 @@ import math
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, child_contract
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
 from repro.nn.modules.dropout import Dropout
@@ -57,6 +58,13 @@ class MultiheadSelfAttention(Module):
             return out, attention
         return out
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "MultiheadSelfAttention")
+        spec.require_axis(-1, self.dim, "MultiheadSelfAttention", "dim")
+        for name in ("q_proj", "k_proj", "v_proj", "out_proj"):
+            child_contract(name, getattr(self, name), spec)
+        return spec
+
 
 class AnomalyAttention(Module):
     """Self-attention emitting both series- and prior-association maps.
@@ -87,6 +95,14 @@ class AnomalyAttention(Module):
         prior = prior / prior.sum(axis=-1, keepdims=True)
         return out, series_assoc, prior
 
+    def contract(self, spec: TensorSpec):
+        out = child_contract("inner", self.inner, spec)
+        child_contract("sigma_proj", self.sigma_proj, spec)
+        assoc = spec.with_shape(
+            (spec.shape[0], self.num_heads, spec.shape[1], spec.shape[1])
+        )
+        return out, assoc, assoc
+
 
 class TransformerEncoderLayer(Module):
     """Pre-norm transformer encoder block."""
@@ -107,3 +123,16 @@ class TransformerEncoderLayer(Module):
         x = x + self.attention(self.norm1(x))
         hidden = F.gelu(self.ff1(self.norm2(x)))
         return x + self.ff2(hidden)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        attended = child_contract(
+            "attention", self.attention, child_contract("norm1", self.norm1, spec)
+        )
+        if attended.shape != spec.shape:
+            raise ContractError(
+                f"residual branch changed shape: {attended} vs {spec}"
+            )
+        hidden = child_contract(
+            "ff1", self.ff1, child_contract("norm2", self.norm2, spec)
+        )
+        return child_contract("ff2", self.ff2, hidden)

@@ -6,6 +6,7 @@ from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec
 from repro.nn.tensor import Parameter, Tensor
 
 __all__ = ["Module"]
@@ -137,6 +138,20 @@ class Module:
                 self.update_buffer(name, np.array(state[key], copy=True))
         for name, module in self._modules.items():
             module._load_buffers(state, prefix + name + ".")
+
+    # ------------------------------------------------------------------
+    # Static contracts (repro.analysis.check_model)
+    # ------------------------------------------------------------------
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        """Map an input :class:`TensorSpec` to the output spec.
+
+        Subclasses with a stable shape semantics override this so
+        :func:`repro.analysis.check_model` can validate architectures
+        without running data.  The default refuses rather than guessing.
+        """
+        raise ContractError(
+            f"{type(self).__name__} does not declare a shape contract"
+        )
 
     # ------------------------------------------------------------------
     # Invocation

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.analysis.spec import ContractError, TensorSpec, child_contract
 from repro.nn.modules.base import Module
 
 __all__ = ["Sequential", "ModuleList"]
@@ -21,6 +22,11 @@ class Sequential(Module):
         for module in self._modules.values():
             x = module(x)
         return x
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        for name, module in self._modules.items():
+            spec = child_contract(name, module, spec)
+        return spec
 
     def __iter__(self) -> Iterator[Module]:
         return iter(self._modules.values())
@@ -55,3 +61,8 @@ class ModuleList(Module):
 
     def forward(self, *args, **kwargs):
         raise RuntimeError("ModuleList is a container and cannot be called")
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        raise ContractError(
+            "ModuleList has no call semantics; check its children directly"
+        )

@@ -6,12 +6,38 @@ import math
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, merge_dtype
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Parameter, Tensor
 
 __all__ = ["Conv1d", "ConvTranspose1d"]
+
+
+def _conv_contract(module, spec: TensorSpec, transpose: bool) -> TensorSpec:
+    """Shared ``(N, C, L) -> (N, C_out, L_out)`` contract for 1-D convs."""
+    name = type(module).__name__
+    spec.require_ndim(3, name)
+    spec.require_axis(1, module.in_channels, name, "in_channels")
+    length = spec.shape[-1]
+    if transpose:
+        out_length = (length - 1) * module.stride + module.kernel_size \
+            - 2 * module.padding
+    else:
+        padded = length + 2 * module.padding
+        if padded.is_concrete and padded.value < module.kernel_size:
+            raise ContractError(
+                f"{name}: padded length {padded} is smaller than the "
+                f"kernel {module.kernel_size}"
+            )
+        out_length = (padded - module.kernel_size) // module.stride + 1
+    operands = (module.weight,) if module.bias is None else \
+        (module.weight, module.bias)
+    dtype = merge_dtype(spec, *operands, who=name)
+    return spec.with_shape(
+        (spec.shape[0], module.out_channels, out_length), dtype
+    )
 
 
 class Conv1d(Module):
@@ -40,6 +66,9 @@ class Conv1d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv1d(x, self.weight, self.bias, stride=self.stride,
                         padding=self.padding)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        return _conv_contract(self, spec, transpose=False)
 
     def output_length(self, length: int) -> int:
         return (length + 2 * self.padding - self.kernel_size) // self.stride + 1
@@ -75,6 +104,9 @@ class ConvTranspose1d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv_transpose1d(x, self.weight, self.bias, stride=self.stride,
                                   padding=self.padding)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        return _conv_contract(self, spec, transpose=True)
 
     def output_length(self, length: int) -> int:
         return (length - 1) * self.stride + self.kernel_size - 2 * self.padding

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec
 from repro.nn import functional as F
 from repro.nn import random as nn_random
 from repro.nn.modules.base import Module
@@ -24,3 +25,6 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self._rng)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        return spec

@@ -6,6 +6,7 @@ import math
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, merge_dtype
 from repro.nn import init
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Parameter, Tensor
@@ -34,6 +35,14 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        if spec.ndim < 1:
+            raise ContractError("Linear expects at least a 1-D input")
+        spec.require_axis(-1, self.in_features, "Linear", "in_features")
+        operands = (self.weight,) if self.bias is None else (self.weight, self.bias)
+        dtype = merge_dtype(spec, *operands, who="Linear")
+        return spec.with_shape(spec.shape[:-1] + (self.out_features,), dtype)
+
     def __repr__(self) -> str:
         return (
             f"Linear(in={self.in_features}, out={self.out_features}, "
@@ -60,3 +69,15 @@ class Bilinear(Module):
         )  # (N, out*in2)
         left = left.reshape(x1.shape[0], self.weight.shape[0], self.weight.shape[2])
         return (left * x2.reshape(x2.shape[0], 1, x2.shape[1])).sum(axis=-1) + self.bias
+
+    def contract(self, spec: TensorSpec, other: TensorSpec) -> TensorSpec:
+        spec.require_ndim(2, "Bilinear (x1)")
+        other.require_ndim(2, "Bilinear (x2)")
+        spec.require_axis(-1, self.weight.shape[1], "Bilinear", "in1")
+        other.require_axis(-1, self.weight.shape[2], "Bilinear", "in2")
+        if spec.shape[0] != other.shape[0]:
+            raise ContractError(
+                f"Bilinear batch dims differ: {spec.shape[0]} vs {other.shape[0]}"
+            )
+        dtype = merge_dtype(spec, self.weight, self.bias, other, who="Bilinear")
+        return spec.with_shape((spec.shape[0], self.weight.shape[0]), dtype)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, merge_dtype
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Parameter, Tensor
@@ -22,6 +23,16 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        if spec.ndim < 1:
+            raise ContractError("LayerNorm expects at least a 1-D input")
+        # A mismatched width would silently *broadcast* the affine weight
+        # instead of normalising — exactly the class of bug this catches.
+        spec.require_axis(-1, self.weight.shape[0], "LayerNorm",
+                          "normalized_shape")
+        merge_dtype(spec, self.weight, self.bias, who="LayerNorm")
+        return spec
 
 
 class BatchNorm1d(Module):
@@ -60,3 +71,12 @@ class BatchNorm1d(Module):
             centered = x - mean
         normed = centered / (variance + self.eps).sqrt()
         return normed * self.weight.reshape(shape) + self.bias.reshape(shape)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        if spec.ndim not in (2, 3):
+            raise ContractError(
+                f"BatchNorm1d expects (N, C) or (N, C, L), got {spec}"
+            )
+        spec.require_axis(1, self.num_features, "BatchNorm1d", "num_features")
+        merge_dtype(spec, self.weight, self.bias, who="BatchNorm1d")
+        return spec

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Tensor
 
@@ -37,3 +38,14 @@ class PositionalEncoding(Module):
                 f"{self.table.shape[0]}"
             )
         return x + Tensor(self.table[None, :length])
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "PositionalEncoding")
+        spec.require_axis(-1, self.table.shape[1], "PositionalEncoding", "dim")
+        length = spec.shape[1]
+        if length.is_concrete and length.value > self.table.shape[0]:
+            raise ContractError(
+                f"PositionalEncoding: sequence length {length} exceeds the "
+                f"table size {self.table.shape[0]}"
+            )
+        return spec

@@ -11,6 +11,7 @@ import math
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, merge_dtype
 from repro.nn import init
 from repro.nn.modules.base import Module
 from repro.nn.tensor import Parameter, Tensor, concatenate, stack, zeros
@@ -45,6 +46,12 @@ class GRUCell(Module):
         candidate = (gates_x[:, 2 * hs:] + reset * gates_h[:, 2 * hs:]).tanh()
         return update * h + (1.0 - update) * candidate
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(2, "GRUCell")
+        spec.require_axis(-1, self.input_size, "GRUCell", "input_size")
+        merge_dtype(spec, self.weight_ih, self.weight_hh, who="GRUCell")
+        return spec.with_shape((spec.shape[0], self.hidden_size))
+
 
 class GRU(Module):
     """Sequence GRU over inputs of shape ``(N, T, input_size)``.
@@ -67,6 +74,16 @@ class GRU(Module):
             h = self.cell(x[:, t, :], h)
             outputs.append(h)
         return stack(outputs, axis=1), h
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "GRU")
+        step = self.cell.contract(
+            spec.with_shape((spec.shape[0], spec.shape[-1]))
+        )
+        sequence = spec.with_shape(
+            (spec.shape[0], spec.shape[1], self.hidden_size), step.dtype
+        )
+        return sequence, step
 
 
 class LSTMCell(Module):

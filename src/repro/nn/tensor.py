@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.autograd import is_grad_enabled, topological_order
+from repro.nn.autograd import _OP_HOOKS, is_grad_enabled, topological_order
 
 __all__ = [
     "Tensor",
@@ -51,17 +51,35 @@ _CONSUMED = _consumed_marker
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
-    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting."""
+    """Reduce ``grad`` back to ``shape`` after NumPy broadcasting.
+
+    ``grad`` must be the result of broadcasting an array of ``shape``
+    against other operands: it has at least as many dimensions, and every
+    trailing-aligned axis either matches ``shape`` or broadcast up from
+    size 1.  Anything else raises ``ValueError`` instead of silently
+    producing a mis-shaped gradient.
+    """
     if grad.shape == shape:
         return grad
     extra = grad.ndim - len(shape)
+    if extra < 0:
+        raise ValueError(
+            f"gradient of shape {grad.shape} has fewer dimensions than the "
+            f"operand shape {shape}; broadcasting cannot remove dimensions"
+        )
     if extra > 0:
         grad = grad.sum(axis=tuple(range(extra)))
-    axes = tuple(
-        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
-    )
+    axes = []
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            axes.append(axis)
+        elif grad.shape[axis] != size:
+            raise ValueError(
+                f"gradient of shape {grad.shape} is not a broadcast of the "
+                f"operand shape {shape} (axis {axis}: {grad.shape[axis]} vs {size})"
+            )
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = grad.sum(axis=tuple(axes), keepdims=True)
     return grad.reshape(shape)
 
 
@@ -77,15 +95,39 @@ class Tensor:
         and ``backward()`` will populate ``grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = (
+        "_data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_parent_versions",
+        "_op",
+        "_version",
+    )
 
     def __init__(self, data, requires_grad: bool = False):
-        self.data = _as_array(data)
+        self._data = _as_array(data)
         self.requires_grad = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self._backward = None
         self._parents: tuple = ()
+        self._parent_versions: tuple = ()
         self._op = "leaf"
+        self._version = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying array.  Rebinding it bumps the version counter."""
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        # Every in-place update in the repository goes through this setter
+        # (``param.data -= ...`` rebinds the attribute), so the version
+        # counter catches mutation of tensors already recorded on a tape.
+        self._data = value if isinstance(value, np.ndarray) else _as_array(value)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -144,7 +186,11 @@ class Tensor:
             out.requires_grad = True
             out._backward = backward
             out._parents = parents
+            out._parent_versions = tuple(p._version for p in parents)
             out._op = op
+        if _OP_HOOKS:
+            for hook in tuple(_OP_HOOKS):
+                hook(out, parents, op)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -179,6 +225,15 @@ class Tensor:
                 )
             if node._backward is None:
                 continue
+            for parent, recorded in zip(node._parents, node._parent_versions):
+                if parent._version != recorded:
+                    raise RuntimeError(
+                        f"an input of op '{node._op}' (shape {parent.shape}) "
+                        f"was modified in-place after being recorded on the "
+                        f"tape (version {parent._version} vs {recorded}); the "
+                        "gradient would be silently wrong.  Recompute the "
+                        "forward pass after mutating tensor data."
+                    )
             node._backward(node.grad)
             # Free intermediate gradient/graph memory once consumed; mark
             # the node so a second backward through it fails loudly instead
@@ -187,6 +242,7 @@ class Tensor:
                 node.grad = None
             node._backward = _CONSUMED
             node._parents = ()
+            node._parent_versions = ()
 
     def zero_grad(self) -> None:
         self.grad = None

@@ -1,0 +1,180 @@
+"""repro.analysis.lint: each rule fires on a crafted violation, clean passes."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import RULES, Violation, lint_paths, lint_source, main
+
+
+def _codes(violations):
+    return [v.code for v in violations]
+
+
+class TestBareRandom:
+    def test_np_random_call_fires(self):
+        source = "import numpy as np\nx = np.random.rand(3)\n"
+        violations = lint_source(source, "src/mod.py")
+        assert "REP101" in _codes(violations)
+
+    def test_respects_import_alias(self):
+        source = "import numpy\ny = numpy.random.normal()\n"
+        assert "REP101" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_from_numpy_import_random(self):
+        source = "from numpy import random\nz = random.uniform()\n"
+        assert "REP101" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_default_rng_is_sanctioned(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert not lint_source(source, "src/mod.py")
+
+    def test_unrelated_random_attribute_ignored(self):
+        source = "import numpy as np\nclass C:\n    random = 1\nC().random\n"
+        assert "REP101" not in _codes(lint_source(source, "src/mod.py"))
+
+
+class TestDataMutation:
+    def test_plain_assignment_fires(self):
+        source = "def f(t):\n    t.data = 0\n"
+        assert "REP102" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_augmented_assignment_fires(self):
+        source = "def step(p, lr):\n    p.data -= lr * p.grad\n"
+        assert "REP102" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_slice_assignment_fires(self):
+        source = "def f(t):\n    t.data[2:] = 1.0\n"
+        assert "REP102" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_sanctioned_file_exempt(self):
+        source = "def step(p, lr):\n    p.data -= lr * p.grad\n"
+        assert "REP102" not in _codes(
+            lint_source(source, "src/repro/nn/optim.py")
+        )
+
+    def test_plain_self_data_attribute_allowed(self):
+        # dataclass-style ``self.data = ...`` in a constructor is unrelated.
+        source = "class Box:\n    def __init__(self, data):\n        self.data = data\n"
+        assert "REP102" not in _codes(lint_source(source, "src/mod.py"))
+
+
+class TestFloat32:
+    def test_np_float32_fires_in_src(self):
+        source = "import numpy as np\nx = np.float32(1.0)\n"
+        assert "REP103" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_dtype_string_fires_in_src(self):
+        source = 'import numpy as np\nx = np.zeros(3, dtype="float32")\n'
+        assert "REP103" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = "import numpy as np\nx = np.float32(1.0)\n"
+        assert "REP103" not in _codes(lint_source(source, "tests/test_x.py"))
+
+
+class TestMissingAll:
+    def test_public_module_without_all_fires(self):
+        source = "def public_api():\n    pass\n"
+        assert "REP104" in _codes(lint_source(source, "src/repro/mod.py"))
+
+    def test_module_with_all_passes(self):
+        source = '__all__ = ["public_api"]\n\ndef public_api():\n    pass\n'
+        assert not lint_source(source, "src/repro/mod.py")
+
+    def test_private_module_exempt(self):
+        source = "def public_api():\n    pass\n"
+        assert not lint_source(source, "src/repro/_internal.py")
+
+    def test_definition_free_module_exempt(self):
+        source = "CONSTANT = 3\n"
+        assert not lint_source(source, "src/repro/mod.py")
+
+    def test_tests_are_exempt(self):
+        source = "def test_something():\n    pass\n"
+        assert "REP104" not in _codes(lint_source(source, "tests/test_x.py"))
+
+
+class TestNoqa:
+    def test_matching_code_suppresses(self):
+        source = "import numpy as np\nx = np.random.rand()  # noqa: REP101\n"
+        assert not lint_source(source, "src/mod.py")
+
+    def test_bare_noqa_suppresses_everything_on_line(self):
+        source = "import numpy as np\nx = np.random.rand()  # noqa\n"
+        assert not lint_source(source, "src/mod.py")
+
+    def test_mismatched_code_does_not_suppress(self):
+        source = "import numpy as np\nx = np.random.rand()  # noqa: REP104\n"
+        assert "REP101" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_noqa_on_other_line_does_not_suppress(self):
+        source = "import numpy as np  # noqa\nx = np.random.rand()\n"
+        assert "REP101" in _codes(lint_source(source, "src/mod.py"))
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n", "src/mod.py")
+        assert _codes(violations) == ["REP000"]
+
+    def test_select_filters_codes(self):
+        source = "import numpy as np\ndef f():\n    np.random.seed(0)\n"
+        only_all = lint_source(source, "src/mod.py", select=["REP104"])
+        assert _codes(only_all) == ["REP104"]
+
+    def test_violation_format_is_tool_style(self):
+        violation = Violation("src/mod.py", 3, 4, "REP101", "boom")
+        assert str(violation) == "src/mod.py:3:4: REP101 boom"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "src"
+        package.mkdir()
+        (package / "bad.py").write_text(
+            "import numpy as np\nx = np.random.rand()\n"
+        )
+        (package / "good.py").write_text("VALUE = 1\n")
+        violations = lint_paths([str(package)])
+        assert _codes(violations) == ["REP101"]
+
+    def test_lint_paths_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["does/not/exist"])
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main([str(bad)]) == 1
+        assert "REP101" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("VALUE = 1\n")
+        assert main([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_missing_path_is_clean_error(self, capsys):
+        assert main(["does/not/exist.py"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_main_unknown_select_code_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main([str(bad), "--select", "BOGUS"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_main_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+
+class TestRepoIsClean:
+    def test_whole_repository_passes_its_own_linter(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        paths = [str(root / name)
+                 for name in ("src", "tests", "benchmarks", "examples")
+                 if (root / name).is_dir()]
+        violations = lint_paths(paths)
+        assert violations == [], "\n".join(str(v) for v in violations)

@@ -174,3 +174,28 @@ def test_grad_where_maximum(seed):
     a = _tensor((5,), seed)
     b = _tensor((5,), seed + 1)
     assert gradcheck(lambda x, y: nn.maximum(x, y) + nn.minimum(x, y), [a, b])
+
+
+def test_numerical_gradient_on_noncontiguous_storage():
+    """Perturbations must reach non-contiguous storage (transposed views).
+
+    ``reshape(-1)`` silently *copies* a non-contiguous array, so a
+    numerical-gradient loop writing through it would perturb the copy and
+    measure a zero gradient everywhere.  The nditer-based implementation
+    writes through the tensor's own storage.
+    """
+    from repro.nn.gradcheck import numerical_gradient
+
+    rng = np.random.default_rng(7)
+    view = rng.normal(size=(3, 4)).T  # (4, 3), C-noncontiguous
+    t = Tensor(view, requires_grad=True)
+    assert not t.data.flags["C_CONTIGUOUS"]
+    numeric = numerical_gradient(lambda x: (x * x).sum(), [t], 0)
+    np.testing.assert_allclose(numeric, 2.0 * view, rtol=1e-6, atol=1e-7)
+
+
+def test_gradcheck_noncontiguous_end_to_end():
+    rng = np.random.default_rng(11)
+    t = Tensor(rng.normal(size=(2, 5)).T, requires_grad=True)
+    assert not t.data.flags["C_CONTIGUOUS"]
+    assert gradcheck(lambda x: (x * x * 0.5).sum(), [t])

@@ -1,0 +1,86 @@
+"""Direct unit tests for the broadcast-reversing gradient reduction."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+class TestReduction:
+    def test_identity_when_shapes_match(self):
+        grad = np.arange(6.0).reshape(2, 3)
+        out = _unbroadcast(grad, (2, 3))
+        assert out is grad
+
+    def test_scalar_vs_matrix(self):
+        grad = np.ones((4, 5))
+        out = _unbroadcast(grad, ())
+        assert out.shape == ()
+        assert out == 20.0
+
+    def test_leading_axes_summed(self):
+        grad = np.ones((2, 3, 4))
+        out = _unbroadcast(grad, (4,))
+        np.testing.assert_array_equal(out, np.full(4, 6.0))
+
+    def test_leading_one_dims_kept(self):
+        grad = np.arange(12.0).reshape(3, 4)
+        out = _unbroadcast(grad, (1, 4))
+        assert out.shape == (1, 4)
+        np.testing.assert_array_equal(out, grad.sum(axis=0, keepdims=True))
+
+    def test_interior_one_dim(self):
+        grad = np.ones((2, 5, 3))
+        out = _unbroadcast(grad, (2, 1, 3))
+        assert out.shape == (2, 1, 3)
+        np.testing.assert_array_equal(out, np.full((2, 1, 3), 5.0))
+
+    def test_zero_size_axis_preserved(self):
+        grad = np.zeros((3, 0, 4))
+        out = _unbroadcast(grad, (3, 0, 4))
+        assert out.shape == (3, 0, 4)
+
+    def test_zero_size_axis_reduced_from_broadcast(self):
+        grad = np.zeros((2, 0, 5))
+        out = _unbroadcast(grad, (1, 0, 5))
+        assert out.shape == (1, 0, 5)
+
+
+class TestRejections:
+    def test_fewer_dims_than_operand_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            _unbroadcast(np.ones(4), (2, 4))
+        assert "fewer dimensions" in str(excinfo.value)
+
+    def test_incompatible_axis_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            _unbroadcast(np.ones((2, 5)), (2, 3))
+        assert "not a broadcast" in str(excinfo.value)
+
+    def test_shrinking_axis_rejected(self):
+        # grad axis 1 cannot have broadcast *down* from 3 to 1.
+        with pytest.raises(ValueError):
+            _unbroadcast(np.ones((2, 1)), (2, 3))
+
+
+class TestThroughOps:
+    def test_bias_gradient_sums_over_batch(self):
+        x = Tensor(np.ones((8, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_array_equal(bias.grad, np.full(3, 8.0))
+        np.testing.assert_array_equal(x.grad, np.ones((8, 3)))
+
+    def test_keepdim_operand_gradient(self):
+        scale = Tensor(np.ones((1, 4)), requires_grad=True)
+        x = Tensor(np.arange(8.0).reshape(2, 4), requires_grad=True)
+        (x * scale).sum().backward()
+        assert scale.grad.shape == (1, 4)
+        np.testing.assert_array_equal(scale.grad, x.data.sum(0, keepdims=True))
+
+    def test_scalar_operand_gradient(self):
+        s = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        (x * s).sum().backward()
+        assert s.grad.shape == ()
+        assert float(s.grad) == 9.0

@@ -1,0 +1,76 @@
+"""Tape version counters: in-place mutation between forward and backward."""
+
+import numpy as np
+import pytest
+
+from repro.nn.modules.linear import Linear
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+
+class TestCounter:
+    def test_assignment_bumps_version(self):
+        t = Tensor(np.ones(3))
+        start = t._version
+        t.data = np.zeros(3)  # noqa: REP102
+        assert t._version == start + 1
+
+    def test_augmented_assignment_bumps_version(self):
+        t = Tensor(np.ones(3))
+        start = t._version
+        t.data -= 0.5  # noqa: REP102
+        assert t._version == start + 1
+
+    def test_reading_does_not_bump(self):
+        t = Tensor(np.ones(3))
+        start = t._version
+        _ = t.data
+        _ = t.data.sum()
+        assert t._version == start
+
+
+class TestBackwardGuard:
+    def test_mutation_before_backward_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = (a * 2.0).sum()
+        a.data = np.zeros(3)  # noqa: REP102
+        with pytest.raises(RuntimeError) as excinfo:
+            out.backward()
+        message = str(excinfo.value)
+        assert "modified in-place" in message
+        assert "'mul'" in message
+
+    def test_mutation_of_intermediate_raises(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        hidden = a * 2.0
+        out = hidden.sum()
+        hidden.data = np.zeros(3)  # noqa: REP102
+        with pytest.raises(RuntimeError):
+            out.backward()
+
+    def test_untouched_graph_backwards_cleanly(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        ((a * 2.0) + 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full(3, 2.0))
+
+    def test_update_after_backward_is_fine(self):
+        # The optimizer idiom: backward first, then mutate parameters.
+        a = Tensor(np.ones(3), requires_grad=True)
+        (a * 3.0).sum().backward()
+        a.data -= 0.1 * a.grad  # noqa: REP102
+        np.testing.assert_allclose(a.data, np.full(3, 0.7))
+
+    def test_optimizer_training_loop_unaffected(self, rng):
+        layer = Linear(4, 2, rng=rng)
+        optimizer = SGD(layer.parameters(), lr=0.05)
+        x = Tensor(rng.normal(size=(8, 4)))
+        target = Tensor(rng.normal(size=(8, 2)))
+        losses = []
+        for _ in range(3):
+            optimizer.zero_grad()
+            diff = layer(x) - target
+            loss = (diff * diff).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0]

@@ -44,3 +44,48 @@ class TestCommands:
     def test_compare_unknown_baseline(self, capsys):
         assert main(["compare", "--baselines", "Nope", "--services", "2",
                      "--length", "256"]) == 2
+
+
+class TestAnalysisCommands:
+    def test_lint_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violating_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "REP101" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP101" in out and "REP104" in out
+
+    def test_lint_select(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nx = np.random.rand()\n")
+        assert main(["lint", str(bad), "--select", "REP104"]) == 0
+
+    def test_check_model_defaults(self, capsys):
+        assert main(["check-model"]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out and "N" in out
+
+    def test_check_model_concrete_batch(self, capsys):
+        assert main(["check-model", "--batch", "16", "--features", "5"]) == 0
+        assert "16" in capsys.readouterr().out
+
+    def test_check_model_negative_batch_rejected(self, capsys):
+        assert main(["check-model", "--batch", "-5"]) == 1
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_check_model_bad_config(self, capsys):
+        # num-bases 0 collapses the spectrum below the characterization
+        # kernel — the contract must fail and name the layer, not crash.
+        assert main(["check-model", "--num-bases", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "contract violation" in err
+        assert "characterization.conv" in err
