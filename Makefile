@@ -1,12 +1,13 @@
 # Developer entry points.  The tier-1 gate is `make check`: the repository
-# linter must be clean and the full test suite must pass.
+# linter must be clean, the full test suite must pass, and the chaos
+# (fault-injection) suite must survive its fixed seed matrix.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test check-model help
+.PHONY: check lint test chaos check-model help
 
-check: lint test
+check: lint test chaos
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -14,11 +15,18 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Fault-injection suite: seeded FaultInjector corrupting observations,
+# raising from the scoring path, and truncating checkpoints, across the
+# fixed seed matrix parametrized inside tests/runtime/test_chaos.py.
+chaos:
+	$(PYTHON) -m pytest tests/runtime/test_chaos.py -q
+
 check-model:
 	$(PYTHON) -m repro check-model
 
 help:
-	@echo "make check       - lint + full test suite (tier-1 gate)"
+	@echo "make check       - lint + full test suite + chaos suite (tier-1 gate)"
 	@echo "make lint        - repo linter (repro.analysis.lint)"
 	@echo "make test        - pytest"
+	@echo "make chaos       - fault-injection suite (fixed seed matrix)"
 	@echo "make check-model - static MACE shape/dtype contract check"

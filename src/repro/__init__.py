@@ -17,6 +17,10 @@ Subpackages
 ``repro.eval``
     Metrics, point-adjust protocol, POT thresholding, experiment protocols
     and profiling.
+``repro.runtime``
+    Fault-tolerant serving: input sanitization, per-service health +
+    circuit breaking with a spectral fallback scorer, crash-safe training
+    checkpoints, and deterministic fault injection for chaos tests.
 """
 
 __version__ = "1.0.0"

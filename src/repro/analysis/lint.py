@@ -29,6 +29,12 @@ Rules
     Every public module under ``src/`` must declare its export surface so
     the API is auditable and star-imports stay bounded.
 
+``REP105`` bare ``except:`` in library code
+    A bare handler swallows ``KeyboardInterrupt``/``SystemExit`` and every
+    programming error alike — fatal in a serving loop that must degrade
+    *selectively* (see :mod:`repro.runtime`).  Catch a concrete exception
+    type, or ``Exception`` if a broad guard is genuinely required.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -51,6 +57,7 @@ RULES = {
     "REP102": ".data mutation of a tensor outside sanctioned helpers",
     "REP103": "float32 literal in library code (substrate is float64)",
     "REP104": "public library module without __all__",
+    "REP105": "bare except: in library code (catch a concrete type)",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -229,8 +236,21 @@ def _check_missing_all(tree: ast.Module, path: str, out: List[Violation]) -> Non
     ))
 
 
+def _check_bare_except(tree: ast.AST, path: str, out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP105",
+                "bare except: swallows KeyboardInterrupt/SystemExit and "
+                "every bug alike; catch a concrete exception type",
+            ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
-           _check_missing_all)
+           _check_missing_all, _check_bare_except)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

@@ -14,6 +14,10 @@ Commands
     Repository lint (``repro.analysis.lint``) over the configured paths.
 ``check-model``
     Statically validate the MACE architecture's shape/dtype contracts.
+``chaos``
+    Fault-injection drill: stream a fleet through the fault-tolerant
+    serving runtime while corrupting observations and scoring calls, and
+    report how each service degraded and recovered.
 """
 
 from __future__ import annotations
@@ -60,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="only check the given rule codes")
     lint.add_argument("--list-rules", action="store_true",
                       help="list the available rules and exit")
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection drill on the serving runtime"
+    )
+    _add_dataset_args(chaos)
+    chaos.add_argument("--epochs", type=int, default=2)
+    chaos.add_argument("--corrupt-prob", type=float, default=0.02,
+                       help="per-observation corruption probability")
+    chaos.add_argument("--raise-every", type=int, default=200,
+                       help="inject one scoring exception per N calls")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the fault injector (not the dataset)")
 
     check = sub.add_parser(
         "check-model", help="statically validate MACE shape/dtype contracts"
@@ -180,6 +196,55 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core import MaceConfig, MaceDetector
+    from repro.eval import format_table
+    from repro.runtime import FaultInjector, ServingRuntime
+
+    dataset = _load(args)
+    config = MaceConfig(epochs=args.epochs)
+    detector = MaceDetector(config).fit(
+        [s.service_id for s in dataset], [s.train for s in dataset]
+    )
+    injector = FaultInjector(
+        seed=args.chaos_seed, corrupt_prob=args.corrupt_prob,
+        raise_prob=1.0 / max(args.raise_every, 1),
+    )
+    runtime = ServingRuntime(injector.wrap_detector(detector),
+                             window=config.window, q=1e-2)
+    for service in dataset:
+        runtime.start_service(service.service_id, service.train)
+
+    counters = {s.service_id: {"alerts": 0, "fallback": 0, "sanitized": 0}
+                for s in dataset}
+    for step in range(dataset[0].test.shape[0]):
+        for service in dataset:
+            outcome = runtime.update(
+                service.service_id, injector.corrupt(service.test[step])
+            )
+            stats = counters[service.service_id]
+            stats["alerts"] += outcome.is_alert
+            stats["fallback"] += outcome.used_fallback
+            stats["sanitized"] += outcome.sanitized
+    rows = [
+        (service_id,
+         runtime.health(service_id).state.value,
+         runtime.health(service_id).total_failures,
+         len(runtime.health(service_id).transitions),
+         stats["sanitized"], stats["fallback"], stats["alerts"])
+        for service_id, stats in counters.items()
+    ]
+    print(format_table(
+        ("service", "health", "faults", "transitions", "sanitized",
+         "fallback scores", "alerts"),
+        rows,
+        title=(f"chaos drill on {args.dataset}: "
+               f"{injector.observations_corrupted} corrupted observations, "
+               f"{injector.scoring_faults} scoring faults, zero crashes"),
+    ))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint
 
@@ -217,6 +282,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
     "check-model": _cmd_check_model,
 }

@@ -13,7 +13,14 @@ from repro.core.dualistic import (
 from repro.core.model import MaceConfig, MaceModel, MaceOutput
 from repro.core.interpret import FeatureAttribution, explain_interval, feature_error_timelines
 from repro.core.pattern_extraction import PatternExtractor
-from repro.core.persistence import load_detector, save_detector
+from repro.core.persistence import (
+    CorruptArtifactError,
+    DetectorPersistenceError,
+    MissingArtifactError,
+    StateMismatchError,
+    load_detector,
+    save_detector,
+)
 from repro.core.scoring import timeline_scores
 from repro.core.streaming import StreamingDetector, StreamUpdate
 from repro.core.trainer import MaceTrainer, TrainingHistory
@@ -25,5 +32,7 @@ __all__ = [
     "MaceConfig", "MaceModel", "MaceOutput",
     "PatternExtractor", "timeline_scores", "MaceTrainer", "TrainingHistory",
     "save_detector", "load_detector", "StreamingDetector", "StreamUpdate",
+    "DetectorPersistenceError", "MissingArtifactError",
+    "CorruptArtifactError", "StateMismatchError",
     "FeatureAttribution", "explain_interval", "feature_error_timelines",
 ]

@@ -75,9 +75,16 @@ class MaceDetector(AnomalyDetector):
         self.trainer: MaceTrainer | None = None
 
     def fit(self, service_ids: Sequence[str],
-            train_series: Sequence[np.ndarray]) -> "MaceDetector":
+            train_series: Sequence[np.ndarray], *,
+            checkpointer=None, resume=None) -> "MaceDetector":
+        """Train; optionally checkpoint each epoch and/or resume a run.
+
+        ``checkpointer``/``resume`` are forwarded to
+        :meth:`MaceTrainer.fit` — see :class:`repro.runtime.Checkpointer`.
+        """
         self.trainer = MaceTrainer(self.config)
-        self.trainer.fit(service_ids, train_series)
+        self.trainer.fit(service_ids, train_series,
+                         checkpointer=checkpointer, resume=resume)
         return self
 
     def prepare_service(self, service_id: str, train_series: np.ndarray) -> None:

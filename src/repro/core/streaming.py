@@ -5,12 +5,21 @@ Wraps a fitted :class:`~repro.core.detector.MaceDetector` (or any
 appends one observation, scores the newest full window, and passes the
 newest timestamp's error through a streaming SPOT threshold — the
 deployment loop for the paper's C2 setting (heavy traffic, real time).
+
+Robustness contract: observations are validated *before* they enter the
+ring buffer.  A NaN/Inf observation either raises (default) or is imputed
+from the previous row, depending on ``on_invalid`` — it is never written
+through silently, because one poisoned row corrupts every window for the
+next ``window`` updates.  The fault-tolerant serving loop in
+:mod:`repro.runtime` builds on the ``observe``/``score_current`` split so
+that buffers keep advancing even while a service's model path is
+quarantined.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -19,15 +28,31 @@ from repro.eval.spot import Spot
 
 __all__ = ["StreamUpdate", "StreamingDetector"]
 
+_ON_INVALID = ("raise", "impute")
+
 
 @dataclass(frozen=True)
 class StreamUpdate:
-    """Outcome of feeding one observation to the stream."""
+    """Outcome of feeding one observation to the stream.
+
+    The first four fields are the original scoring outcome; the remaining
+    fields report what the fault-tolerance layer did to produce it (they
+    keep their defaults on the plain, healthy path).
+    """
 
     score: float
     is_alert: bool
     ready: bool          # False while the window buffer is still filling
     threshold: float
+    health: str = "healthy"          # HealthState.value of the service
+    used_fallback: bool = False      # score came from the degraded-mode scorer
+    imputed_features: tuple = ()     # feature indices repaired before buffering
+    clipped_features: tuple = ()     # feature indices clipped to the sane range
+
+    @property
+    def sanitized(self) -> bool:
+        """True when the observation was modified before entering the buffer."""
+        return bool(self.imputed_features or self.clipped_features)
 
 
 class _ServiceStream:
@@ -52,14 +77,23 @@ class StreamingDetector:
         Window length the detector expects.
     q, calibration_quantile:
         SPOT alert rate and initial level.
+    on_invalid:
+        What to do with a NaN/Inf observation: ``"raise"`` (default)
+        rejects it with a ``ValueError``; ``"impute"`` repairs the
+        non-finite features from the previous buffered row before it is
+        written.  Either way a non-finite value never enters the buffer.
     """
 
     def __init__(self, detector: AnomalyDetector, window: int = 40,
-                 q: float = 1e-3, calibration_level: float = 0.98):
+                 q: float = 1e-3, calibration_level: float = 0.98,
+                 on_invalid: str = "raise"):
+        if on_invalid not in _ON_INVALID:
+            raise ValueError(f"on_invalid must be one of {_ON_INVALID}")
         self.detector = detector
         self.window = window
         self.q = q
         self.calibration_level = calibration_level
+        self.on_invalid = on_invalid
         self._streams: Dict[str, _ServiceStream] = {}
 
     def start_service(self, service_id: str, recent_history: np.ndarray) -> None:
@@ -74,6 +108,11 @@ class StreamingDetector:
             raise ValueError(
                 f"need at least {2 * self.window} history points to calibrate"
             )
+        if not np.isfinite(history).all():
+            raise ValueError(
+                "calibration history contains non-finite values; clean it "
+                "(e.g. with repro.runtime.Sanitizer) before start_service()"
+            )
         scores = self.detector.score(service_id, history)
         spot = Spot(q=self.q, level=self.calibration_level)
         spot.initialize(scores)
@@ -82,28 +121,84 @@ class StreamingDetector:
         stream.filled = self.window
         self._streams[service_id] = stream
 
+    def services(self) -> tuple:
+        """IDs of every started service."""
+        return tuple(self._streams)
+
+    def observe(self, service_id: str,
+                observation: np.ndarray) -> Optional[np.ndarray]:
+        """Push one observation into the ring buffer **without scoring**.
+
+        Returns the current ``(window, features)`` view once the buffer is
+        full, else ``None``.  This is the half of :meth:`update` that must
+        always run — even when the model path is broken — so the window
+        stays current for fallback scoring and later re-admission.
+        """
+        stream = self._require_stream(service_id)
+        observation = self._validate(stream, observation)
+        stream.buffer = np.roll(stream.buffer, -1, axis=0)
+        stream.buffer[-1] = observation
+        stream.filled = min(stream.filled + 1, self.window)
+        if stream.filled < self.window:
+            return None
+        return stream.buffer
+
+    def score_current(self, service_id: str) -> float:
+        """Model score of the newest timestamp in the buffered window."""
+        stream = self._require_stream(service_id)
+        if stream.filled < self.window:
+            raise RuntimeError(
+                f"service {service_id!r} buffer holds {stream.filled} of "
+                f"{self.window} points; cannot score yet"
+            )
+        return float(self._window_error(service_id, stream.buffer))
+
     def update(self, service_id: str, observation: np.ndarray) -> StreamUpdate:
         """Feed one multivariate observation; score its timestamp."""
+        stream = self._require_stream(service_id)
+        window = self.observe(service_id, observation)
+        if window is None:
+            return StreamUpdate(0.0, False, False, stream.spot.threshold)
+        score = self.score_current(service_id)
+        is_alert = stream.spot.step(score)
+        return StreamUpdate(score, is_alert, True, stream.spot.threshold)
+
+    def step_threshold(self, service_id: str, score: float) -> bool:
+        """Feed a finite score through the service's SPOT; returns alert.
+
+        Used by the fault-tolerant runtime, which validates model output
+        before it is allowed to touch the adaptive threshold state.
+        """
+        return self._require_stream(service_id).spot.step(score)
+
+    def _require_stream(self, service_id: str) -> _ServiceStream:
         if service_id not in self._streams:
             raise KeyError(
                 f"service {service_id!r} not started; call start_service()"
             )
-        stream = self._streams[service_id]
+        return self._streams[service_id]
+
+    def _validate(self, stream: _ServiceStream,
+                  observation: np.ndarray) -> np.ndarray:
         observation = np.asarray(observation, dtype=float).reshape(-1)
         if observation.size != stream.buffer.shape[1]:
             raise ValueError(
                 f"expected {stream.buffer.shape[1]} features, "
                 f"got {observation.size}"
             )
-        stream.buffer = np.roll(stream.buffer, -1, axis=0)
-        stream.buffer[-1] = observation
-        stream.filled = min(stream.filled + 1, self.window)
-        if stream.filled < self.window:
-            return StreamUpdate(0.0, False, False, stream.spot.threshold)
-
-        score = float(self._window_error(service_id, stream.buffer))
-        is_alert = stream.spot.step(score)
-        return StreamUpdate(score, is_alert, True, stream.spot.threshold)
+        finite = np.isfinite(observation)
+        if finite.all():
+            return observation
+        if self.on_invalid == "raise":
+            bad = np.flatnonzero(~finite).tolist()
+            raise ValueError(
+                f"observation has non-finite values in features {bad}; "
+                "pass on_invalid='impute' or sanitize upstream — a "
+                f"poisoned row corrupts the next {self.window} windows"
+            )
+        repaired = observation.copy()
+        repaired[~finite] = stream.buffer[-1][~finite]
+        return repaired
 
     def _window_error(self, service_id: str, window_values: np.ndarray) -> float:
         """Newest-timestamp error of the current window."""
@@ -116,3 +211,52 @@ class StreamingDetector:
 
     def threshold(self, service_id: str) -> float:
         return self._streams[service_id].spot.threshold
+
+    # ------------------------------------------------------------------
+    # State serialization — restart a serving process without re-running
+    # calibration (buffers + SPOT state; the detector itself is persisted
+    # separately via repro.core.persistence).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of every service's live state."""
+        return {
+            "format": "repro.streaming-state.v1",
+            "window": self.window,
+            "q": self.q,
+            "calibration_level": self.calibration_level,
+            "on_invalid": self.on_invalid,
+            "services": {
+                service_id: {
+                    "buffer": stream.buffer.tolist(),
+                    "filled": stream.filled,
+                    "spot": stream.spot.state_dict(),
+                }
+                for service_id, stream in self._streams.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (replaces all live streams)."""
+        if state.get("format") != "repro.streaming-state.v1":
+            raise ValueError(
+                f"unrecognised streaming state format: {state.get('format')!r}"
+            )
+        if state["window"] != self.window:
+            raise ValueError(
+                f"state window {state['window']} != detector window "
+                f"{self.window}"
+            )
+        streams: Dict[str, _ServiceStream] = {}
+        for service_id, payload in state["services"].items():
+            buffer = np.asarray(payload["buffer"], dtype=float)
+            if buffer.shape[0] != self.window:
+                raise ValueError(
+                    f"service {service_id!r} buffer has {buffer.shape[0]} "
+                    f"rows, expected {self.window}"
+                )
+            stream = _ServiceStream(self.window, buffer.shape[1],
+                                    Spot.from_state(payload["spot"]))
+            stream.buffer[:] = buffer
+            stream.filled = int(payload["filled"])
+            streams[service_id] = stream
+        self._streams = streams

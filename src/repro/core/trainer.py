@@ -43,8 +43,23 @@ class MaceTrainer:
         self.history = TrainingHistory()
 
     def fit(self, service_ids: Sequence[str],
-            train_series: Sequence[np.ndarray]) -> "MaceTrainer":
-        """Train on the given services' (normal) training series."""
+            train_series: Sequence[np.ndarray], *,
+            checkpointer=None, resume=None) -> "MaceTrainer":
+        """Train on the given services' (normal) training series.
+
+        Parameters
+        ----------
+        checkpointer:
+            Optional :class:`repro.runtime.Checkpointer`; its
+            ``after_epoch(trainer, optimizer, epoch)`` hook runs once per
+            completed epoch so training survives a mid-``fit`` crash.
+        resume:
+            Path to a training checkpoint written by a ``Checkpointer``.
+            Restores model weights, optimizer moments, the epoch counter
+            and the RNG state, then continues training — the resumed run
+            replays the uninterrupted run bit for bit (the batch shuffle
+            stream picks up exactly where the checkpoint left it).
+        """
         if len(service_ids) != len(train_series):
             raise ValueError("service_ids and train_series must align")
         self.extractor.fit(service_ids, train_series)
@@ -53,8 +68,16 @@ class MaceTrainer:
             stride=self.config.train_stride,
         )
         optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        start_epoch = 0
+        if resume is not None:
+            # Imported lazily: repro.runtime depends on repro.core, so the
+            # checkpoint format lives there and core only reaches for it
+            # when a resume is actually requested.
+            from repro.runtime.checkpoint import restore_trainer
+
+            start_epoch = restore_trainer(self, optimizer, resume)
         self.model.train()
-        for _ in range(self.config.epochs):
+        for epoch in range(start_epoch, self.config.epochs):
             epoch_loss = 0.0
             epoch_norm = 0.0
             batches = 0
@@ -71,6 +94,8 @@ class MaceTrainer:
                 batches += 1
             self.history.epoch_losses.append(epoch_loss / max(batches, 1))
             self.history.grad_norms.append(epoch_norm / max(batches, 1))
+            if checkpointer is not None:
+                checkpointer.after_epoch(self, optimizer, epoch + 1)
         self.model.eval()
         return self
 

@@ -10,6 +10,7 @@ for each new score either flag it (above z_q), add it to the tail model
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 import numpy as np
@@ -53,6 +54,11 @@ class Spot:
     def initialize(self, scores: np.ndarray) -> "Spot":
         """Calibrate on an initial batch of (mostly normal) scores."""
         scores = np.asarray(scores, dtype=float).reshape(-1)
+        if not np.isfinite(scores).all():
+            raise ValueError(
+                "calibration scores contain non-finite values; sanitize the "
+                "score stream before initializing SPOT"
+            )
         self._fit = fit_pot(scores, level=self.level)
         self._excesses = list(
             scores[scores > self._fit.initial_threshold]
@@ -67,9 +73,18 @@ class Spot:
 
         Alerts are *not* added to the tail model (they are assumed
         anomalous); sub-threshold excesses update the model.
+
+        Non-finite scores are rejected: a single NaN appended to the excess
+        set would poison every subsequent GPD refit (and therefore every
+        future threshold), so the caller must sanitize or skip such scores.
         """
         if self._fit is None:
             raise RuntimeError("call initialize() before step()")
+        if not math.isfinite(score):
+            raise ValueError(
+                f"non-finite score {score!r} passed to Spot.step(); a "
+                "NaN/Inf excess would corrupt all future thresholds"
+            )
         self._num_samples += 1
         if score > self.threshold:
             return True
@@ -84,6 +99,45 @@ class Spot:
         """Vector convenience: boolean alert flags for a score stream."""
         return np.fromiter((self.step(float(s)) for s in np.asarray(scores)),
                            dtype=bool)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the full streaming state.
+
+        Together with :meth:`from_state` this lets a serving process restart
+        without re-running the (expensive) calibration pass.
+        """
+        fit = None
+        if self._fit is not None:
+            fit = {
+                "initial_threshold": self._fit.initial_threshold,
+                "shape": self._fit.shape,
+                "scale": self._fit.scale,
+                "num_excesses": self._fit.num_excesses,
+                "num_samples": self._fit.num_samples,
+            }
+        return {
+            "q": self.q,
+            "level": self.level,
+            "refit_every": self.refit_every,
+            "fit": fit,
+            "excesses": list(self._excesses),
+            "num_samples": self._num_samples,
+            "pending": self._pending,
+            "threshold": self.threshold,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Spot":
+        """Rebuild a :class:`Spot` from :meth:`state_dict` output."""
+        spot = cls(q=state["q"], level=state["level"],
+                   refit_every=state["refit_every"])
+        if state["fit"] is not None:
+            spot._fit = PotFit(**state["fit"])
+        spot._excesses = [float(x) for x in state["excesses"]]
+        spot._num_samples = int(state["num_samples"])
+        spot._pending = int(state["pending"])
+        spot.threshold = float(state["threshold"])
+        return spot
 
     def _refit(self) -> None:
         from scipy.stats import genpareto

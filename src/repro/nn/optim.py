@@ -8,7 +8,7 @@ large γ risks gradient explosion; σ and clipping are the mitigations).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -34,6 +34,23 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization — required for crash-safe training checkpoints: the
+    # moment estimates are part of the optimisation trajectory, so resuming
+    # without them would diverge from the uninterrupted run.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of slot arrays (copies); empty for stateless SGD."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output in place."""
+        if state:
+            raise ValueError(
+                f"{self.__class__.__name__} is stateless but received "
+                f"state keys {sorted(state)}"
+            )
 
 
 class SGD(Optimizer):
@@ -62,6 +79,13 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = grad + self.momentum * velocity if self.nesterov else velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {f"velocity/{i}": v.copy()
+                for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        _load_slots(state, {"velocity": self._velocity})
 
 
 class Adam(Optimizer):
@@ -95,6 +119,19 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad * grad
             param.data -= scale * m / (np.sqrt(v) + self.eps)
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {f"m/{i}": m.copy() for i, m in enumerate(self._m)}
+        state.update({f"v/{i}": v.copy() for i, v in enumerate(self._v)})
+        state["step_count"] = np.asarray(self._step_count)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "step_count" not in state:
+            raise ValueError("Adam state is missing 'step_count'")
+        _load_slots({k: v for k, v in state.items() if k != "step_count"},
+                    {"m": self._m, "v": self._v})
+        self._step_count = int(state["step_count"])
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
@@ -109,6 +146,28 @@ class AdamW(Adam):
             super().step()
         finally:
             self.weight_decay = decay
+
+
+def _load_slots(state: Dict[str, np.ndarray],
+                slots: Dict[str, List[np.ndarray]]) -> None:
+    """Copy ``{prefix}/{i}`` arrays from ``state`` into the slot lists."""
+    expected = {f"{prefix}/{i}"
+                for prefix, arrays in slots.items()
+                for i in range(len(arrays))}
+    if set(state) != expected:
+        raise ValueError(
+            f"optimizer state mismatch: missing={sorted(expected - set(state))} "
+            f"unexpected={sorted(set(state) - expected)}"
+        )
+    for prefix, arrays in slots.items():
+        for i, current in enumerate(arrays):
+            value = np.asarray(state[f"{prefix}/{i}"], dtype=current.dtype)
+            if value.shape != current.shape:
+                raise ValueError(
+                    f"optimizer slot {prefix}/{i} has shape {value.shape}, "
+                    f"expected {current.shape}"
+                )
+            current[...] = value
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

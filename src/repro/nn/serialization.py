@@ -1,7 +1,18 @@
-"""Saving and loading module state dicts via ``numpy.savez``."""
+"""Saving and loading module state dicts via ``numpy.savez``.
+
+Writes are **crash-safe**: the archive is written to a temporary sibling
+file and atomically renamed into place (``os.replace``), so a process
+killed mid-save can never leave a truncated ``.npz`` at the destination
+path.  Loads raise a typed :class:`SerializationError` (with the path in
+the message) instead of whatever ``zipfile``/``numpy`` internals happen to
+throw on a missing or corrupted archive.
+"""
 
 from __future__ import annotations
 
+import os
+import tempfile
+import zipfile
 from pathlib import Path
 from typing import Dict
 
@@ -9,20 +20,84 @@ import numpy as np
 
 from repro.nn.modules.base import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = [
+    "SerializationError",
+    "atomic_replace",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+]
+
+
+class SerializationError(RuntimeError):
+    """A state archive is missing, truncated, or otherwise unreadable."""
+
+
+def atomic_replace(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
+    return path
 
 
 def save_state(state: Dict[str, np.ndarray], path: str | Path) -> None:
-    """Write a state dict to ``path`` (``.npz``)."""
+    """Write a state dict to ``path`` (``.npz``), atomically."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **state)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp.npz"
+    )
+    os.close(descriptor)
+    try:
+        np.savez(tmp_name, **state)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
 
 
 def load_state(path: str | Path) -> Dict[str, np.ndarray]:
-    """Read a state dict previously written by :func:`save_state`."""
-    with np.load(Path(path)) as archive:
-        return {name: archive[name] for name in archive.files}
+    """Read a state dict previously written by :func:`save_state`.
+
+    Raises
+    ------
+    SerializationError
+        When the archive does not exist or cannot be parsed (truncated
+        write, disk corruption, wrong file type).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise SerializationError(f"state archive does not exist: {path}")
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as error:
+        raise SerializationError(
+            f"state archive {path} is corrupted or unreadable: {error}"
+        ) from error
 
 
 def save_module(module: Module, path: str | Path) -> None:

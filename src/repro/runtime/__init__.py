@@ -1,0 +1,56 @@
+"""Fault-tolerant serving runtime for production deployments.
+
+The paper's C2 setting — one unified model scoring a heavy-traffic fleet
+of services in real time — is exactly where raw telemetry is least
+trustworthy: NaN/Inf readings, dropped samples, stuck sensors, and the
+occasional scoring-path exception.  This package wraps the fitted-detector
+serving path and the training loop with the four pieces a real deployment
+needs:
+
+``repro.runtime.sanitize``
+    Input validation/repair in front of the ring buffer (impute + clip).
+``repro.runtime.health``
+    Per-service ``HEALTHY → DEGRADED → QUARANTINED`` state machine with an
+    exponential-backoff circuit breaker.
+``repro.runtime.serving``
+    :class:`ServingRuntime` — the never-raises fleet loop that routes
+    quarantined services to a cheap spectral fallback scorer.
+``repro.runtime.checkpoint``
+    Crash-safe training checkpoints (resume is bit-for-bit identical) and
+    live streaming-state snapshots (restart without recalibration).
+``repro.runtime.faults``
+    Deterministic, seeded fault injection driving the chaos test suite.
+"""
+
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    TrainingCheckpoint,
+    load_streaming_state,
+    load_training_checkpoint,
+    restore_trainer,
+    save_streaming_state,
+    save_training_checkpoint,
+)
+from repro.runtime.faults import FaultInjector, FaultyDetector, InjectedFault
+from repro.runtime.health import (
+    BreakerConfig,
+    HealthState,
+    ServiceHealth,
+)
+from repro.runtime.sanitize import (
+    SanitizationReport,
+    Sanitizer,
+    SanitizerConfig,
+)
+from repro.runtime.serving import ServingRuntime, SpectralFallbackScorer
+
+__all__ = [
+    "SanitizerConfig", "Sanitizer", "SanitizationReport",
+    "HealthState", "BreakerConfig", "ServiceHealth",
+    "ServingRuntime", "SpectralFallbackScorer",
+    "Checkpointer", "CheckpointError", "TrainingCheckpoint",
+    "save_training_checkpoint", "load_training_checkpoint", "restore_trainer",
+    "save_streaming_state", "load_streaming_state",
+    "FaultInjector", "FaultyDetector", "InjectedFault",
+]

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for chaos-testing the serving runtime.
+
+Everything is driven by one seeded generator, so a chaos run is exactly
+reproducible from its seed: the same observations get corrupted the same
+way and the same scoring calls raise.  Three fault families, matching what
+production actually sees:
+
+* **observation corruption** — NaN, ±Inf, gross spikes, and dropped rows
+  (``corrupt`` returns ``None``) at a configurable rate;
+* **scoring faults** — :class:`FaultyDetector` wraps any detector and
+  raises :class:`InjectedFault` (or returns NaN scores) from ``score`` at
+  a configurable rate;
+* **storage faults** — :meth:`FaultInjector.truncate_file` chops the tail
+  off a checkpoint/weights file, simulating a crash mid-write on a
+  non-atomic filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import AnomalyDetector
+
+__all__ = ["InjectedFault", "FaultInjector", "FaultyDetector"]
+
+_CORRUPTION_KINDS = ("nan", "inf", "spike", "drop")
+
+
+class InjectedFault(RuntimeError):
+    """Raised from an injected scoring-path fault."""
+
+
+class FaultInjector:
+    """Seeded source of observation, scoring, and storage faults.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private generator; equal seeds give equal fault trains.
+    corrupt_prob:
+        Per-observation probability of corruption (the paper-motivated
+        chaos suite uses 0.02).
+    raise_prob:
+        Per-scoring-call probability that a wrapped detector raises
+        (1/200 in the chaos suite).
+    nan_score_prob:
+        Per-scoring-call probability that a wrapped detector returns NaN
+        scores instead of raising — the sneakier failure mode.
+    kinds:
+        Which corruption kinds to draw from (subset of
+        ``("nan", "inf", "spike", "drop")``).
+    spike_scale:
+        Multiplier applied to a corrupted feature for ``"spike"`` faults.
+    """
+
+    def __init__(self, seed: int = 0, corrupt_prob: float = 0.02,
+                 raise_prob: float = 1.0 / 200.0,
+                 nan_score_prob: float = 0.0,
+                 kinds: Sequence[str] = _CORRUPTION_KINDS,
+                 spike_scale: float = 1e6):
+        unknown = sorted(set(kinds) - set(_CORRUPTION_KINDS))
+        if unknown:
+            raise ValueError(f"unknown corruption kinds: {unknown}")
+        if not kinds:
+            raise ValueError("need at least one corruption kind")
+        for name, prob in (("corrupt_prob", corrupt_prob),
+                           ("raise_prob", raise_prob),
+                           ("nan_score_prob", nan_score_prob)):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.seed = seed
+        self.corrupt_prob = corrupt_prob
+        self.raise_prob = raise_prob
+        self.nan_score_prob = nan_score_prob
+        self.kinds = tuple(kinds)
+        self.spike_scale = spike_scale
+        self._rng = np.random.default_rng(seed)
+        self.observations_corrupted = 0
+        self.scoring_faults = 0
+
+    # ------------------------------------------------------------------
+    # Observation faults
+    # ------------------------------------------------------------------
+    def corrupt(self, observation: np.ndarray) -> Optional[np.ndarray]:
+        """Maybe corrupt one observation; ``None`` models a dropped sample."""
+        if self._rng.random() >= self.corrupt_prob:
+            return observation
+        self.observations_corrupted += 1
+        kind = self.kinds[self._rng.integers(len(self.kinds))]
+        if kind == "drop":
+            return None
+        observation = np.asarray(observation, dtype=float).reshape(-1).copy()
+        feature = int(self._rng.integers(observation.size))
+        if kind == "nan":
+            observation[feature] = np.nan
+        elif kind == "inf":
+            observation[feature] = np.inf if self._rng.random() < 0.5 else -np.inf
+        else:  # spike
+            sign = 1.0 if self._rng.random() < 0.5 else -1.0
+            observation[feature] = sign * self.spike_scale * (
+                1.0 + abs(observation[feature])
+            )
+        return observation
+
+    # ------------------------------------------------------------------
+    # Scoring faults
+    # ------------------------------------------------------------------
+    def before_score(self) -> Optional[str]:
+        """Draw one scoring fault: ``"raise"``, ``"nan"``, or ``None``."""
+        draw = self._rng.random()
+        if draw < self.raise_prob:
+            self.scoring_faults += 1
+            return "raise"
+        if draw < self.raise_prob + self.nan_score_prob:
+            self.scoring_faults += 1
+            return "nan"
+        return None
+
+    def wrap_detector(self, detector: AnomalyDetector) -> "FaultyDetector":
+        """Wrap a fitted detector so its scoring path injects faults."""
+        return FaultyDetector(detector, self)
+
+    # ------------------------------------------------------------------
+    # Storage faults
+    # ------------------------------------------------------------------
+    def truncate_file(self, path: str | Path,
+                      keep_fraction: float = 0.5) -> Path:
+        """Chop the tail off a file in place (crash-mid-write simulation)."""
+        if not 0.0 <= keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+        path = Path(path)
+        size = path.stat().st_size
+        keep = int(size * keep_fraction)
+        with open(path, "rb+") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+
+class FaultyDetector(AnomalyDetector):
+    """Proxy that injects faults into another detector's scoring path.
+
+    Besides the injector's random per-call faults, ``fail_services`` is a
+    mutable set of service ids whose scoring *always* raises — the knob
+    for scripting sustained outages (down for steps 100..260, say) on top
+    of the random transient faults.
+    """
+
+    def __init__(self, inner: AnomalyDetector, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+        self.name = f"faulty({inner.name})"
+        self.fail_services: set = set()
+
+    def fit(self, service_ids, train_series) -> "FaultyDetector":
+        self.inner.fit(service_ids, train_series)
+        return self
+
+    def prepare_service(self, service_id: str, train_series) -> None:
+        self.inner.prepare_service(service_id, train_series)
+
+    def score(self, service_id: str, series: np.ndarray) -> np.ndarray:
+        if service_id in self.fail_services:
+            self.injector.scoring_faults += 1
+            raise InjectedFault(
+                f"injected outage for service {service_id!r}"
+            )
+        fault = self.injector.before_score()
+        if fault == "raise":
+            raise InjectedFault(
+                f"injected scoring fault for service {service_id!r}"
+            )
+        scores = self.inner.score(service_id, series)
+        if fault == "nan":
+            scores = np.asarray(scores, dtype=float).copy()
+            scores[-1] = np.nan
+        return scores

@@ -1,0 +1,248 @@
+"""The fault-tolerant fleet serving loop.
+
+:class:`ServingRuntime` wraps a :class:`~repro.core.streaming
+.StreamingDetector` with the three runtime guarantees a production
+deployment needs:
+
+1. every observation is sanitized before it reaches the ring buffer
+   (:mod:`repro.runtime.sanitize`);
+2. a per-service circuit breaker quarantines a failing model path and
+   re-admits it via exponential-backoff probes
+   (:mod:`repro.runtime.health`);
+3. while quarantined, the service keeps producing scores from a cheap
+   spectral-distance fallback, so monitoring never goes dark and the ring
+   buffer keeps advancing for eventual re-admission.
+
+``update`` **never raises on a scoring failure** — the contract of the
+fleet loop is that one broken service degrades alone.  Programming errors
+(unknown service, wrong feature count) still raise, because silently
+swallowing those would hide real bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.detector import AnomalyDetector
+from repro.core.streaming import StreamingDetector, StreamUpdate
+from repro.frequency.dft import rfft_amplitude
+from repro.frequency.spectrum import spectral_kl_divergence
+from repro.runtime.health import BreakerConfig, HealthState, ServiceHealth
+from repro.runtime.sanitize import Sanitizer, SanitizerConfig
+
+__all__ = ["SpectralFallbackScorer", "ServingRuntime"]
+
+
+class SpectralFallbackScorer:
+    """Model-free degraded-mode scorer: spectral distance to calibration.
+
+    The paper's empirical motivation (Tables II/III) is that anomalies
+    reshape a window's amplitude spectrum; this scorer exploits exactly
+    that with no learned weights: per feature, the KL divergence between
+    the current window's normalised amplitude spectrum and the mean
+    calibration spectrum.  It is orders of magnitude cheaper than the
+    model path and numerically bulletproof — precisely what you want from
+    the path of last resort.
+    """
+
+    def __init__(self, window: int, alert_quantile: float = 0.995):
+        if not 0.5 < alert_quantile < 1.0:
+            raise ValueError("alert_quantile must be in (0.5, 1)")
+        self.window = window
+        self.alert_quantile = alert_quantile
+        self._reference: np.ndarray | None = None   # (features, bins)
+        self.threshold: float = float("inf")
+
+    @property
+    def fitted(self) -> bool:
+        return self._reference is not None
+
+    def fit(self, history: np.ndarray) -> "SpectralFallbackScorer":
+        """Calibrate the reference spectrum and alert threshold."""
+        history = np.atleast_2d(np.asarray(history, dtype=float))
+        if history.shape[0] < 2 * self.window:
+            raise ValueError(
+                f"need at least {2 * self.window} history rows to calibrate"
+            )
+        stride = max(self.window // 4, 1)
+        starts = range(0, history.shape[0] - self.window + 1, stride)
+        spectra = np.stack([
+            self._normalised_spectrum(history[start:start + self.window])
+            for start in starts
+        ])                                         # (W, features, bins)
+        self._reference = spectra.mean(axis=0)
+        calibration = np.array([self._distance(s) for s in spectra])
+        self.threshold = float(np.quantile(calibration, self.alert_quantile))
+        return self
+
+    def score(self, window_values: np.ndarray) -> float:
+        """Spectral distance of one ``(window, features)`` array."""
+        if not self.fitted:
+            raise RuntimeError("call fit() before score()")
+        return self._distance(self._normalised_spectrum(window_values))
+
+    def _normalised_spectrum(self, window_values: np.ndarray) -> np.ndarray:
+        window_values = np.atleast_2d(np.asarray(window_values, dtype=float))
+        amplitude = rfft_amplitude(window_values.T)     # (features, bins)
+        total = amplitude.sum(axis=-1, keepdims=True)
+        return amplitude / np.maximum(total, 1e-12)
+
+    def _distance(self, spectrum: np.ndarray) -> float:
+        return float(np.mean([
+            spectral_kl_divergence(feature, reference)
+            for feature, reference in zip(spectrum, self._reference)
+        ]))
+
+
+class ServingRuntime:
+    """Never-raises serving loop over a fleet of streamed services.
+
+    Parameters mirror :class:`~repro.core.streaming.StreamingDetector`,
+    plus the sanitization and breaker policies.  Typical use::
+
+        runtime = ServingRuntime(detector, window=40, q=1e-3)
+        runtime.start_service("svc-1", recent_history)
+        for row in live_feed:
+            outcome = runtime.update("svc-1", row)   # never raises
+            if outcome.is_alert: page_oncall(...)
+    """
+
+    def __init__(self, detector: AnomalyDetector, window: int = 40,
+                 q: float = 1e-3, calibration_level: float = 0.98,
+                 sanitizer_config: SanitizerConfig | None = None,
+                 breaker_config: BreakerConfig | None = None,
+                 fallback_quantile: float = 0.995):
+        self.streaming = StreamingDetector(
+            detector, window=window, q=q,
+            calibration_level=calibration_level, on_invalid="impute",
+        )
+        self.window = window
+        self.sanitizer_config = sanitizer_config or SanitizerConfig()
+        self.breaker_config = breaker_config or BreakerConfig()
+        self.fallback_quantile = fallback_quantile
+        self._sanitizers: Dict[str, Sanitizer] = {}
+        self._health: Dict[str, ServiceHealth] = {}
+        self._fallbacks: Dict[str, SpectralFallbackScorer] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_service(self, service_id: str,
+                      recent_history: np.ndarray) -> None:
+        """Calibrate sanitizer, model threshold, and fallback scorer.
+
+        The raw history may itself contain non-finite readings; they are
+        repaired (per-feature median) before calibration.
+        """
+        history = np.atleast_2d(np.asarray(recent_history, dtype=float))
+        sanitizer = Sanitizer(self.sanitizer_config).fit(history)
+        clean = self._clean_history(history)
+        self.streaming.start_service(service_id, clean)
+        fallback = SpectralFallbackScorer(
+            self.window, alert_quantile=self.fallback_quantile,
+        ).fit(clean)
+        self._sanitizers[service_id] = sanitizer
+        self._health[service_id] = ServiceHealth(self.breaker_config)
+        self._fallbacks[service_id] = fallback
+
+    def services(self) -> tuple:
+        return tuple(self._health)
+
+    def health(self, service_id: str) -> ServiceHealth:
+        return self._health[service_id]
+
+    def health_states(self) -> Dict[str, HealthState]:
+        """Current state of every service (fleet dashboard view)."""
+        return {service_id: health.state
+                for service_id, health in self._health.items()}
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def update(self, service_id: str,
+               observation: Optional[np.ndarray]) -> StreamUpdate:
+        """Feed one observation (or ``None`` for a dropped sample).
+
+        Scoring failures — exceptions or non-finite output from the model
+        path — are absorbed: the breaker records them and the fallback
+        scorer answers instead.  Only usage errors (unknown service, wrong
+        feature count) propagate.
+        """
+        if service_id not in self._health:
+            raise KeyError(
+                f"service {service_id!r} not started; call start_service()"
+            )
+        sanitizer = self._sanitizers[service_id]
+        health = self._health[service_id]
+        health.tick()
+
+        clean, report = sanitizer.sanitize(observation)
+        if report.gap_exceeded:
+            health.note_degraded_input()
+
+        window = self.streaming.observe(service_id, clean)
+        if window is None:
+            return self._outcome(service_id, health, report,
+                                 score=0.0, is_alert=False, ready=False,
+                                 used_fallback=False)
+
+        score: Optional[float] = None
+        if health.allow_model():
+            score = self._try_model(service_id, health)
+        if score is not None:
+            is_alert = self.streaming.step_threshold(service_id, score)
+            return self._outcome(service_id, health, report,
+                                 score=score, is_alert=is_alert, ready=True,
+                                 used_fallback=False)
+
+        fallback = self._fallbacks[service_id]
+        fallback_score = fallback.score(window)
+        return self._outcome(service_id, health, report,
+                             score=fallback_score,
+                             is_alert=fallback_score > fallback.threshold,
+                             ready=True, used_fallback=True)
+
+    def _try_model(self, service_id: str,
+                   health: ServiceHealth) -> Optional[float]:
+        """One guarded attempt at the real model path."""
+        try:
+            score = self.streaming.score_current(service_id)
+        except Exception:  # scoring path is third-party territory
+            health.record_failure()
+            return None
+        if not np.isfinite(score):
+            health.record_failure()
+            return None
+        health.record_success()
+        return score
+
+    def _outcome(self, service_id: str, health: ServiceHealth,
+                 report, *, score: float, is_alert: bool, ready: bool,
+                 used_fallback: bool) -> StreamUpdate:
+        threshold = (self._fallbacks[service_id].threshold if used_fallback
+                     else self.streaming.threshold(service_id))
+        return StreamUpdate(
+            score=score,
+            is_alert=is_alert,
+            ready=ready,
+            threshold=threshold,
+            health=health.state.value,
+            used_fallback=used_fallback,
+            imputed_features=report.imputed_features,
+            clipped_features=report.clipped_features,
+        )
+
+    def _clean_history(self, history: np.ndarray) -> np.ndarray:
+        """Repair non-finite calibration readings with feature medians."""
+        masked = np.where(np.isfinite(history), history, np.nan)
+        medians = np.nanmedian(masked, axis=0)
+        if not np.isfinite(medians).all():
+            raise ValueError(
+                "a history feature has no finite values; cannot calibrate"
+            )
+        rows, cols = np.nonzero(np.isnan(masked))
+        clean = history.copy()
+        clean[rows, cols] = medians[cols]
+        return clean

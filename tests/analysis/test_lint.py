@@ -95,6 +95,29 @@ class TestMissingAll:
         assert "REP104" not in _codes(lint_source(source, "tests/test_x.py"))
 
 
+class TestBareExcept:
+    def test_bare_except_fires_in_src(self):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        assert "REP105" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_concrete_type_passes(self):
+        source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+        assert "REP105" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_except_exception_passes(self):
+        # Catch-all with a named type is still explicit — allowed.
+        source = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert "REP105" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = "try:\n    x = 1\nexcept:\n    pass\n"
+        assert "REP105" not in _codes(lint_source(source, "tests/test_x.py"))
+
+    def test_noqa_suppresses(self):
+        source = "try:\n    x = 1\nexcept:  # noqa: REP105\n    pass\n"
+        assert not lint_source(source, "src/mod.py")
+
+
 class TestNoqa:
     def test_matching_code_suppresses(self):
         source = "import numpy as np\nx = np.random.rand()  # noqa: REP101\n"

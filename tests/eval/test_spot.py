@@ -50,3 +50,51 @@ class TestSpot:
         assert not spot.initialized
         spot.initialize(np.abs(rng.normal(size=100)))
         assert spot.initialized
+
+
+class TestNonFiniteGuard:
+    """A NaN excess would poison every subsequent GPD refit."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_step_rejects_non_finite(self, calibrated, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            calibrated.step(bad)
+
+    def test_rejected_score_leaves_state_untouched(self, calibrated):
+        threshold = calibrated.threshold
+        excesses = list(calibrated._excesses)
+        with pytest.raises(ValueError):
+            calibrated.step(float("nan"))
+        assert calibrated.threshold == threshold
+        assert calibrated._excesses == excesses
+        assert not calibrated.step(0.0)  # still fully functional
+
+    def test_initialize_rejects_non_finite(self, rng):
+        scores = np.abs(rng.normal(size=500))
+        scores[13] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            Spot().initialize(scores)
+
+
+class TestStateRoundtrip:
+    def test_state_dict_roundtrip_preserves_behaviour(self, rng):
+        spot = Spot(q=1e-3, level=0.9, refit_every=8)
+        spot.initialize(np.abs(rng.normal(size=2000)))
+        for _ in range(20):
+            spot.step(spot.threshold * 0.9)
+
+        clone = Spot.from_state(spot.state_dict())
+        assert clone.threshold == spot.threshold
+        stream = np.abs(rng.normal(size=200)) * 1.5
+        flags_a = [spot.step(float(s)) for s in stream]
+        flags_b = [clone.step(float(s)) for s in stream]
+        assert flags_a == flags_b
+        assert clone.threshold == spot.threshold
+
+    def test_state_dict_is_json_serializable(self, calibrated):
+        import json
+
+        payload = json.dumps(calibrated.state_dict())
+        clone = Spot.from_state(json.loads(payload))
+        assert clone.initialized

@@ -1,0 +1,32 @@
+"""Shared fixtures for the runtime suite.
+
+Fitting MACE is the slow part; the fitted detector is session-scoped and
+treated as read-only by every test that scores with it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MaceConfig, MaceDetector
+from repro.data import load_dataset
+
+
+def fast_config(**overrides):
+    defaults = dict(window=40, num_bases=6, channels=4, epochs=2,
+                    train_stride=8, gamma_time=5, gamma_freq=5,
+                    kernel_freq=4, kernel_time=3)
+    defaults.update(overrides)
+    return MaceConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def runtime_dataset():
+    return load_dataset("smd", num_services=2, train_length=256,
+                        test_length=256, seed=5)
+
+
+@pytest.fixture(scope="session")
+def fitted_detector(runtime_dataset):
+    detector = MaceDetector(fast_config())
+    return detector.fit([s.service_id for s in runtime_dataset],
+                        [s.train for s in runtime_dataset])

@@ -1,0 +1,210 @@
+"""Chaos suite: seeded fault injection against the serving runtime.
+
+Acceptance criteria (ISSUE 2): with the seeded ``FaultInjector``
+corrupting 2% of observations and raising from 1-in-200 scoring calls
+across a 10-service stream, the runtime loop never raises, quarantined
+services recover via backoff probes, and alert F1 on the uncorrupted
+services stays within 5% of the fault-free run.
+
+The detector here is a cheap deterministic z-score scorer — the chaos
+suite exercises the *runtime's* fault handling, which is detector
+agnostic, and must stay fast enough to run in `make chaos` on every
+commit.  End-to-end MACE serving under faults is covered by the CLI
+drill (``repro chaos``) and tests/runtime/test_serving.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import BreakerConfig, FaultInjector, ServingRuntime
+from repro.runtime.health import HealthState
+from tests.runtime.test_serving import ScriptedDetector
+
+SEED_MATRIX = [0, 1, 2]
+
+NUM_SERVICES = 10
+HISTORY_LEN = 320
+TEST_LEN = 320
+WINDOW = 40
+SPIKE_EVENTS = 8
+SPIKE_LEN = 3
+SPIKE_SIZE = 6.0
+
+
+def _make_fleet(seed):
+    """10 services of sine+noise with labelled spike anomalies in test."""
+    rng = np.random.default_rng(1000 + seed)
+    services = {}
+    for index in range(NUM_SERVICES):
+        period = 16 + 4 * (index % 4)
+        t = np.arange(HISTORY_LEN + TEST_LEN)
+        base = np.stack([
+            np.sin(2 * np.pi * t / period),
+            0.5 * np.cos(2 * np.pi * t / (period * 2)),
+        ], axis=1)
+        base += 0.1 * rng.normal(size=base.shape)
+        history, test = base[:HISTORY_LEN], base[HISTORY_LEN:]
+        labels = np.zeros(TEST_LEN, dtype=bool)
+        starts = rng.choice(
+            np.arange(WINDOW, TEST_LEN - SPIKE_LEN), size=SPIKE_EVENTS,
+            replace=False,
+        )
+        test = test.copy()
+        for start in starts:
+            test[start:start + SPIKE_LEN, 0] += SPIKE_SIZE
+            labels[start:start + SPIKE_LEN] = True
+        services[f"svc-{index}"] = (history, test, labels)
+    return services
+
+
+def _run_fleet(services, detector, injector=None, corrupted_services=()):
+    """Drive the full fleet; returns per-service alert flag arrays."""
+    runtime = ServingRuntime(detector, window=WINDOW, q=1e-2)
+    for service_id, (history, _, _) in services.items():
+        runtime.start_service(service_id, history)
+    alerts = {service_id: np.zeros(TEST_LEN, dtype=bool)
+              for service_id in services}
+    for step in range(TEST_LEN):
+        for service_id, (_, test, _) in services.items():
+            observation = test[step]
+            if injector is not None and service_id in corrupted_services:
+                observation = injector.corrupt(observation)
+            outcome = runtime.update(service_id, observation)
+            alerts[service_id][step] = outcome.is_alert
+    return runtime, alerts
+
+
+def _f1(alerts, labels):
+    tp = np.sum(alerts & labels)
+    fp = np.sum(alerts & ~labels)
+    fn = np.sum(~alerts & labels)
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+def _fleet_f1(alerts, services, service_ids):
+    tp = fp = fn = 0
+    for service_id in service_ids:
+        labels = services[service_id][2]
+        flags = alerts[service_id]
+        tp += np.sum(flags & labels)
+        fp += np.sum(flags & ~labels)
+        fn += np.sum(~flags & labels)
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2 * precision * recall / (precision + recall)
+
+
+@pytest.mark.parametrize("seed", SEED_MATRIX)
+class TestChaosMatrix:
+    """The headline chaos run, repeated over the fixed seed matrix."""
+
+    def _detector(self, services):
+        return ScriptedDetector().fit(
+            list(services), [history for history, _, _ in services.values()]
+        )
+
+    def test_faulted_fleet_meets_acceptance_criteria(self, seed):
+        services = _make_fleet(seed)
+        corrupted = {f"svc-{i}" for i in range(NUM_SERVICES // 2)}
+        uncorrupted = sorted(set(services) - corrupted)
+
+        # Fault-free reference run.
+        _, clean_alerts = _run_fleet(services, self._detector(services))
+        clean_f1 = _fleet_f1(clean_alerts, services, uncorrupted)
+        assert clean_f1 > 0.5, "reference detector must actually detect"
+
+        # Chaos run: 2% observation corruption on half the fleet plus
+        # 1-in-200 scoring exceptions everywhere.  The loop itself must
+        # never raise (any exception fails this test).
+        injector = FaultInjector(seed=seed, corrupt_prob=0.02,
+                                 raise_prob=1.0 / 200.0)
+        detector = injector.wrap_detector(self._detector(services))
+        runtime, chaos_alerts = _run_fleet(
+            services, detector, injector=injector,
+            corrupted_services=corrupted,
+        )
+        chaos_f1 = _fleet_f1(chaos_alerts, services, uncorrupted)
+        assert abs(chaos_f1 - clean_f1) <= 0.05 * clean_f1, (
+            f"seed {seed}: F1 drifted more than 5%: "
+            f"clean {clean_f1:.4f} vs chaos {chaos_f1:.4f}"
+        )
+        # Faults were actually injected and absorbed.
+        assert injector.scoring_faults > 0
+        assert injector.observations_corrupted > 0
+        # No service may end the run quarantined from random transient
+        # faults — the breaker must have re-admitted everything.
+        final_states = runtime.health_states().values()
+        assert HealthState.QUARANTINED not in final_states
+
+    def test_corrupted_observations_never_reach_buffers(self, seed):
+        services = _make_fleet(seed)
+        injector = FaultInjector(seed=seed, corrupt_prob=0.1)
+        detector = injector.wrap_detector(self._detector(services))
+        runtime, _ = _run_fleet(services, detector, injector=injector,
+                                corrupted_services=set(services))
+        for service_id in services:
+            buffer = runtime.streaming._streams[service_id].buffer
+            assert np.isfinite(buffer).all()
+
+
+class TestQuarantineRecovery:
+    """A sustained outage must quarantine, then recover via probes."""
+
+    def test_outage_quarantines_and_backoff_probes_readmit(self):
+        services = _make_fleet(0)
+        outage_services = {"svc-0"}
+
+        class OutageDetector(ScriptedDetector):
+            def __init__(self):
+                super().__init__()
+                self.down = False
+
+            def score(self, service_id, series):
+                if self.down and service_id in outage_services:
+                    raise RuntimeError("sustained outage")
+                return super().score(service_id, series)
+
+        detector = OutageDetector().fit(
+            list(services), [history for history, _, _ in services.values()]
+        )
+        runtime = ServingRuntime(
+            detector, window=WINDOW, q=1e-2,
+            breaker_config=BreakerConfig(failure_threshold=3,
+                                         recovery_successes=4,
+                                         probe_successes=2, base_backoff=4,
+                                         max_backoff=64),
+        )
+        for service_id, (history, _, _) in services.items():
+            runtime.start_service(service_id, history)
+
+        fallback_updates = 0
+        for step in range(TEST_LEN):
+            detector.down = 60 <= step < 160
+            for service_id, (_, test, _) in services.items():
+                outcome = runtime.update(service_id, test[step])
+                if service_id in outage_services:
+                    fallback_updates += outcome.used_fallback
+
+        health = runtime.health("svc-0")
+        states = [dst for _, _, dst in health.transitions]
+        assert HealthState.QUARANTINED in states, "breaker never tripped"
+        assert health.state is HealthState.HEALTHY, (
+            f"service stuck in {health.state}"
+        )
+        assert fallback_updates > 0, "no degraded-mode scoring happened"
+        # Quarantine must end *after* the outage ends (probes during the
+        # outage fail and double the backoff instead).
+        quarantine_end = max(
+            tick for tick, src, _ in health.transitions
+            if src is HealthState.QUARANTINED
+        )
+        assert quarantine_end > 160
+        # Unaffected services never left HEALTHY.
+        for index in range(1, NUM_SERVICES):
+            assert runtime.health(f"svc-{index}").state is HealthState.HEALTHY

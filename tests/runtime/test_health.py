@@ -1,0 +1,122 @@
+"""Health state machine and circuit-breaker semantics."""
+
+import pytest
+
+from repro.runtime import BreakerConfig, HealthState, ServiceHealth
+
+
+def _health(**overrides):
+    defaults = dict(failure_threshold=3, recovery_successes=3,
+                    probe_successes=2, base_backoff=4, max_backoff=32)
+    defaults.update(overrides)
+    return ServiceHealth(BreakerConfig(**defaults))
+
+
+def _drive(health, outcomes):
+    """Run one tick + route + outcome per entry; returns model-allowed flags."""
+    allowed = []
+    for ok in outcomes:
+        health.tick()
+        if health.allow_model():
+            allowed.append(True)
+            health.record_success() if ok else health.record_failure()
+        else:
+            allowed.append(False)
+    return allowed
+
+
+class TestConfig:
+    def test_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(base_backoff=64, max_backoff=8)
+
+
+class TestTransitions:
+    def test_starts_healthy(self):
+        assert _health().state is HealthState.HEALTHY
+
+    def test_single_failure_degrades(self):
+        health = _health()
+        _drive(health, [False])
+        assert health.state is HealthState.DEGRADED
+
+    def test_successes_recover_degraded(self):
+        health = _health()
+        _drive(health, [False, True, True, True])
+        assert health.state is HealthState.HEALTHY
+
+    def test_consecutive_failures_quarantine(self):
+        health = _health()
+        _drive(health, [False, False, False])
+        assert health.state is HealthState.QUARANTINED
+
+    def test_interleaved_failures_do_not_quarantine(self):
+        health = _health()
+        _drive(health, [False, False, True, False, False, True])
+        assert health.state is not HealthState.QUARANTINED
+
+    def test_transitions_recorded(self):
+        health = _health()
+        _drive(health, [False, False, False])
+        states = [(src.value, dst.value) for _, src, dst in health.transitions]
+        assert states == [("healthy", "degraded"),
+                          ("degraded", "quarantined")]
+
+    def test_degraded_input_degrades_healthy(self):
+        health = _health()
+        health.tick()
+        health.note_degraded_input()
+        assert health.state is HealthState.DEGRADED
+
+
+class TestBreaker:
+    def test_quarantine_blocks_model_until_backoff(self):
+        health = _health(base_backoff=4)
+        _drive(health, [False, False, False])       # trips at tick 3
+        allowed = _drive(health, [True] * 4)        # ticks 4..7
+        # next probe scheduled for tick 3 + 4 = 7: blocked until then
+        assert allowed == [False, False, False, True]
+
+    def test_probe_successes_close_breaker(self):
+        health = _health(base_backoff=2, probe_successes=2)
+        _drive(health, [False, False, False])
+        _drive(health, [True] * 6)
+        assert health.state in (HealthState.DEGRADED, HealthState.HEALTHY)
+
+    def test_full_recovery_to_healthy(self):
+        health = _health(base_backoff=2, probe_successes=2,
+                         recovery_successes=3)
+        _drive(health, [False, False, False])
+        _drive(health, [True] * 10)
+        assert health.state is HealthState.HEALTHY
+
+    def test_failed_probe_doubles_backoff(self):
+        health = _health(base_backoff=2, max_backoff=64)
+        _drive(health, [False, False, False])       # open, probe at +2
+        outcomes = _drive(health, [False] * 14)
+        probes = [i for i, allowed in enumerate(outcomes) if allowed]
+        assert len(probes) >= 2
+        # gaps between consecutive probes grow (2 -> 4 -> 8 ...)
+        gaps = [b - a for a, b in zip(probes, probes[1:])]
+        assert all(later >= earlier for earlier, later in zip(gaps, gaps[1:]))
+
+    def test_backoff_capped(self):
+        health = _health(base_backoff=2, max_backoff=4)
+        _drive(health, [False, False, False])
+        _drive(health, [False] * 40)
+        assert health._backoff == 4
+
+    def test_probing_flag(self):
+        health = _health(base_backoff=1)
+        _drive(health, [False, False, False])
+        health.tick()
+        assert health.allow_model()
+        assert health.probing
+
+    def test_counters(self):
+        health = _health()
+        _drive(health, [False, True, False])
+        assert health.total_failures == 2
+        assert health.consecutive_failures == 1

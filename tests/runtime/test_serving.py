@@ -1,0 +1,221 @@
+"""ServingRuntime unit behaviour: routing, degradation, fallback scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import AnomalyDetector
+from repro.runtime import (
+    BreakerConfig,
+    SanitizerConfig,
+    ServingRuntime,
+    SpectralFallbackScorer,
+)
+from repro.runtime.health import HealthState
+
+
+class ScriptedDetector(AnomalyDetector):
+    """Cheap z-score detector whose scoring path can be forced to fail."""
+
+    name = "scripted"
+
+    def __init__(self):
+        self._stats = {}
+        self.fail = False
+        self.emit_nan = False
+
+    def fit(self, service_ids, train_series):
+        for service_id, series in zip(service_ids, train_series):
+            series = np.atleast_2d(np.asarray(series, dtype=float))
+            self._stats[service_id] = (series.mean(axis=0),
+                                       series.std(axis=0) + 1e-9)
+        return self
+
+    def score(self, service_id, series):
+        if self.fail:
+            raise RuntimeError("scripted scoring failure")
+        mean, std = self._stats[service_id]
+        series = np.atleast_2d(np.asarray(series, dtype=float))
+        scores = np.abs((series - mean) / std).max(axis=1)
+        if self.emit_nan:
+            scores = scores.copy()
+            scores[-1] = np.nan
+        return scores
+
+
+def _history(seed=0, length=240, features=2):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.stack([np.sin(2 * np.pi * t / 20) + 0.1 * rng.normal(size=length)
+                     for _ in range(features)], axis=1)
+    return base
+
+
+@pytest.fixture
+def runtime():
+    history = _history()
+    detector = ScriptedDetector().fit(["svc"], [history])
+    runtime = ServingRuntime(
+        detector, window=40, q=1e-2,
+        breaker_config=BreakerConfig(failure_threshold=3,
+                                     recovery_successes=2,
+                                     probe_successes=1, base_backoff=4,
+                                     max_backoff=32),
+    )
+    runtime.start_service("svc", history)
+    return runtime
+
+
+def _detector(runtime):
+    return runtime.streaming.detector
+
+
+class TestHappyPath:
+    def test_clean_updates_stay_healthy(self, runtime):
+        for row in _history(seed=1)[:50]:
+            outcome = runtime.update("svc", row)
+            assert outcome.ready
+            assert outcome.health == "healthy"
+            assert not outcome.used_fallback
+        assert runtime.health("svc").state is HealthState.HEALTHY
+
+    def test_unknown_service_still_raises(self, runtime):
+        with pytest.raises(KeyError):
+            runtime.update("nope", np.zeros(2))
+
+    def test_feature_mismatch_still_raises(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.update("svc", np.zeros(7))
+
+
+class TestSanitizedInputs:
+    def test_nan_observation_reported_not_fatal(self, runtime):
+        outcome = runtime.update("svc", np.array([np.nan, 0.0]))
+        assert outcome.imputed_features == (0,)
+        assert outcome.sanitized
+        assert np.isfinite(outcome.score)
+
+    def test_dropped_sample_accepted(self, runtime):
+        outcome = runtime.update("svc", None)
+        assert outcome.imputed_features == (0, 1)
+        assert np.isfinite(outcome.score)
+
+    def test_gross_outlier_clipped(self, runtime):
+        outcome = runtime.update("svc", np.array([1e9, 0.0]))
+        assert outcome.clipped_features == (0,)
+
+    def test_long_gap_degrades(self):
+        history = _history()
+        detector = ScriptedDetector().fit(["svc"], [history])
+        runtime = ServingRuntime(
+            detector, window=40, q=1e-2,
+            sanitizer_config=SanitizerConfig(max_consecutive_imputed=3),
+        )
+        runtime.start_service("svc", history)
+        for _ in range(5):
+            outcome = runtime.update("svc", None)
+        assert outcome.health == "degraded"
+
+    def test_dirty_calibration_history_accepted(self):
+        history = _history()
+        history[10:14, 1] = np.nan
+        history[50, 0] = np.inf
+        detector = ScriptedDetector().fit(
+            ["svc"], [np.nan_to_num(history, posinf=0.0, neginf=0.0)]
+        )
+        runtime = ServingRuntime(detector, window=40, q=1e-2)
+        runtime.start_service("svc", history)
+        assert runtime.update("svc", np.zeros(2)).ready
+
+
+class TestDegradedMode:
+    def test_scoring_failures_never_surface(self, runtime):
+        _detector(runtime).fail = True
+        for row in _history(seed=2)[:20]:
+            outcome = runtime.update("svc", row)   # must not raise
+            assert outcome.ready
+            assert np.isfinite(outcome.score)
+
+    def test_breaker_trips_to_quarantine(self, runtime):
+        _detector(runtime).fail = True
+        outcomes = [runtime.update("svc", row)
+                    for row in _history(seed=2)[:10]]
+        assert outcomes[-1].health == "quarantined"
+        assert outcomes[-1].used_fallback
+        assert runtime.health("svc").state is HealthState.QUARANTINED
+
+    def test_nan_scores_trip_breaker_too(self, runtime):
+        _detector(runtime).emit_nan = True
+        outcomes = [runtime.update("svc", row)
+                    for row in _history(seed=3)[:10]]
+        assert runtime.health("svc").state is HealthState.QUARANTINED
+        assert all(np.isfinite(o.score) for o in outcomes)
+
+    def test_fallback_threshold_reported(self, runtime):
+        _detector(runtime).fail = True
+        for row in _history(seed=2)[:10]:
+            outcome = runtime.update("svc", row)
+        fallback = runtime._fallbacks["svc"]
+        assert outcome.threshold == fallback.threshold
+
+    def test_probes_readmit_after_recovery(self, runtime):
+        detector = _detector(runtime)
+        detector.fail = True
+        rows = _history(seed=4)
+        for row in rows[:12]:
+            runtime.update("svc", row)
+        assert runtime.health("svc").state is HealthState.QUARANTINED
+        detector.fail = False
+        last = None
+        for row in rows[12:80]:
+            last = runtime.update("svc", row)
+        assert runtime.health("svc").state is HealthState.HEALTHY
+        assert not last.used_fallback
+
+    def test_fleet_isolation(self):
+        """One broken service must not affect its neighbour's path."""
+        history_a, history_b = _history(seed=5), _history(seed=6)
+
+        class HalfBroken(ScriptedDetector):
+            live = False    # healthy during calibration, breaks after
+
+            def score(self, service_id, series):
+                if self.live and service_id == "bad":
+                    raise RuntimeError("dead service")
+                return super().score(service_id, series)
+
+        detector = HalfBroken().fit(["good", "bad"],
+                                    [history_a, history_b])
+        runtime = ServingRuntime(detector, window=40, q=1e-2)
+        runtime.start_service("good", history_a)
+        runtime.start_service("bad", history_b)
+        detector.live = True
+        for row_a, row_b in zip(_history(seed=7)[:40], _history(seed=8)[:40]):
+            good = runtime.update("good", row_a)
+            bad = runtime.update("bad", row_b)
+        assert good.health == "healthy" and not good.used_fallback
+        assert bad.health == "quarantined" and bad.used_fallback
+
+
+class TestSpectralFallback:
+    def test_calibration_scores_below_threshold(self):
+        history = _history(seed=9)
+        scorer = SpectralFallbackScorer(window=40).fit(history)
+        window = history[-40:]
+        assert scorer.score(window) <= scorer.threshold * 1.01
+
+    def test_spectral_shift_scores_higher(self):
+        history = _history(seed=10)
+        scorer = SpectralFallbackScorer(window=40).fit(history)
+        normal = scorer.score(history[-40:])
+        shifted = history[-40:].copy()
+        t = np.arange(40)
+        shifted[:, 0] = np.sin(2 * np.pi * t / 3)   # very different period
+        assert scorer.score(shifted) > normal
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SpectralFallbackScorer(window=40).score(np.zeros((40, 2)))
+
+    def test_short_history_rejected(self):
+        with pytest.raises(ValueError):
+            SpectralFallbackScorer(window=40).fit(np.zeros((60, 2)))
