@@ -1,16 +1,25 @@
 # Developer entry points.  The tier-1 gate is `make check`: the repository
-# linter must be clean, the full test suite must pass, and the chaos
+# linter must be clean, the static analyzer must report nothing outside
+# its committed baseline, the full test suite must pass, and the chaos
 # (fault-injection) suite must survive its fixed seed matrix.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test chaos check-model help
+.PHONY: check lint analyze analyze-baseline test chaos check-model help
 
-check: lint test chaos
+check: lint analyze test chaos
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
+
+# Abstract interpretation of every shipped model graph; any finding not in
+# analysis_baseline.json (errors: ever) fails the build.
+analyze:
+	$(PYTHON) -m repro analyze --baseline analysis_baseline.json
+
+analyze-baseline:
+	$(PYTHON) -m repro analyze --update-baseline --baseline analysis_baseline.json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,8 +34,10 @@ check-model:
 	$(PYTHON) -m repro check-model
 
 help:
-	@echo "make check       - lint + full test suite + chaos suite (tier-1 gate)"
-	@echo "make lint        - repo linter (repro.analysis.lint)"
-	@echo "make test        - pytest"
-	@echo "make chaos       - fault-injection suite (fixed seed matrix)"
-	@echo "make check-model - static MACE shape/dtype contract check"
+	@echo "make check            - lint + analyze + tests + chaos (tier-1 gate)"
+	@echo "make lint             - repo linter (repro.analysis.lint)"
+	@echo "make analyze          - static model-graph analyzer vs committed baseline"
+	@echo "make analyze-baseline - re-accept current analyzer warnings"
+	@echo "make test             - pytest"
+	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
+	@echo "make check-model      - static MACE shape/dtype contract check"

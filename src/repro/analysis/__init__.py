@@ -13,12 +13,21 @@ Three layers, each usable on its own:
   validates an architecture symbolically without running any data.
 * :mod:`repro.analysis.lint` — AST lint with repo-specific rules
   (``python -m repro.analysis.lint`` or ``repro lint``).
+* :mod:`repro.analysis.dataflow` / :mod:`repro.analysis.gradflow` —
+  abstract interpretation of traced autograd graphs (interval × finiteness
+  domain, gradient-flow audit).  ``repro analyze`` drives both over every
+  shipped model; :mod:`repro.analysis.audit` holds that harness (imported
+  lazily — it pulls in the model zoo).
 """
 
 from repro.analysis.anomaly import AnomalyError, detect_anomaly
 from repro.analysis.contracts import check_model, input_spec
+from repro.analysis.dataflow import Finding, coverage, propagate
+from repro.analysis.domains import Interval
+from repro.analysis.gradflow import audit_gradient_flow
 from repro.analysis.lint import Violation, lint_paths, lint_source
 from repro.analysis.spec import ContractError, Dim, TensorSpec, child_contract, merge_dtype
+from repro.analysis.trace import Graph, GraphNode, trace
 
 __all__ = [
     "AnomalyError",
@@ -33,4 +42,12 @@ __all__ = [
     "Violation",
     "lint_paths",
     "lint_source",
+    "Interval",
+    "Finding",
+    "propagate",
+    "coverage",
+    "Graph",
+    "GraphNode",
+    "trace",
+    "audit_gradient_flow",
 ]

@@ -1,0 +1,113 @@
+"""Backward gradient-flow audit over a traced graph.
+
+Three structural checks run on the same :class:`~repro.analysis.trace.Graph`
+the forward interval pass uses:
+
+``GF301`` dead parameter (error)
+    A module parameter with no path to the loss (the first traced output):
+    either it never appears in the graph, or every use is severed by a
+    ``Tensor(...)``/``detach()`` boundary.  Such a parameter silently never
+    trains — the bug class behind the Anomaly Transformer prior-association
+    detachment this audit was built to catch.
+
+``GF302`` detached subgraph (warn)
+    An op node with no consumers that is not a declared output: compute
+    whose result is dropped or smuggled out via ``.data``.  Sometimes
+    intentional (self-conditioning detours); hence a warning that the
+    committed analyzer baseline can accept.
+
+``GF303`` saturation-prone activation (warn)
+    A ``sigmoid``/``tanh`` fed by an interval with an infinite bound; its
+    gradient underflows to exactly zero once the input saturates, so an
+    unbounded feed makes dead gradients reachable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.dataflow import Finding, _is_suppressed
+from repro.analysis.domains import Interval
+from repro.analysis.trace import Graph
+from repro.nn.modules.base import Module
+from repro.nn.opinfo import Rule
+
+__all__ = ["GF_RULES", "audit_gradient_flow"]
+
+GF_RULES = {
+    "GF301": Rule("dead-parameter", "error",
+                  "parameter has no gradient path to the loss"),
+    "GF302": Rule("detached-subgraph", "warn",
+                  "op result feeds no consumer and is not an output"),
+    "GF303": Rule("saturation-prone", "warn",
+                  "sigmoid/tanh fed by an interval with an infinite bound"),
+}
+
+_SATURATING_OPS = frozenset({"sigmoid", "tanh"})
+
+
+def audit_gradient_flow(graph: Graph, values: List[Interval],
+                        module: Optional[Module] = None) -> List[Finding]:
+    """Run GF301-GF303; ``values`` comes from :func:`dataflow.propagate`."""
+    findings: List[Finding] = []
+
+    loss_index = graph.loss_index
+    loss_ancestors = graph.ancestors(loss_index) if loss_index is not None else set()
+
+    if module is not None and loss_index is not None:
+        traced_params = {node.name: node for node in graph.nodes
+                         if node.kind == "param" and node.name}
+        root = type(module).__name__
+        for name, _ in module.named_parameters():
+            node = traced_params.get(name)
+            owner = f"{root}.{name}".rsplit(".", 1)[0]
+            if node is None:
+                findings.append(Finding(
+                    rule="GF301", severity="error",
+                    message=f"parameter '{name}' never appears in the traced "
+                            "forward graph; it cannot receive gradients",
+                    op="leaf", node_index=-1, module_path=owner,
+                    rule_name=GF_RULES["GF301"].name,
+                ))
+            elif node.index not in loss_ancestors:
+                findings.append(Finding(
+                    rule="GF301", severity="error",
+                    message=f"parameter '{name}' reaches the graph but has "
+                            "no path to the loss (a detach/Tensor(...) "
+                            "boundary severs it); it silently never trains",
+                    op="leaf", node_index=node.index, module_path=owner,
+                    rule_name=GF_RULES["GF301"].name,
+                ))
+
+    counts = graph.consumer_counts()
+    output_set = set(graph.outputs)
+    for node in graph.nodes:
+        if node.kind != "op":
+            continue
+        if counts[node.index] == 0 and node.index not in output_set:
+            filename, lineno = node.location
+            findings.append(Finding(
+                rule="GF302", severity="warn",
+                message=f"result of op '{node.op}' (shape {node.shape}) has "
+                        "no consumer and is not a traced output; downstream "
+                        "use, if any, goes through .data and blocks gradients",
+                op=node.op, node_index=node.index,
+                module_path=node.module_path, file=filename, line=lineno,
+                suppressed=_is_suppressed(node), frames=node.frames,
+                rule_name=GF_RULES["GF302"].name,
+            ))
+        if node.op in _SATURATING_OPS and node.parents:
+            feed = values[node.parents[0]]
+            if not feed.is_bounded:
+                filename, lineno = node.location
+                findings.append(Finding(
+                    rule="GF303", severity="warn",
+                    message=f"'{node.op}' input interval {feed} is unbounded; "
+                            "the activation can saturate and its gradient "
+                            "underflow to exactly zero",
+                    op=node.op, node_index=node.index,
+                    module_path=node.module_path, file=filename, line=lineno,
+                    suppressed=_is_suppressed(node), frames=node.frames,
+                    rule_name=GF_RULES["GF303"].name,
+                ))
+    return findings

@@ -35,6 +35,16 @@ Rules
     *selectively* (see :mod:`repro.runtime`).  Catch a concrete exception
     type, or ``Exception`` if a broad guard is genuinely required.
 
+``REP106`` mutable default argument
+    ``def f(x=[])`` / ``={}`` / ``=set()`` binds one shared object at
+    definition time; any in-place mutation leaks across calls.  Default to
+    ``None`` and construct inside the body.
+
+``REP107`` ``Module`` subclass overriding ``forward`` without ``contract()``
+    Shape contracts (:mod:`repro.analysis.spec`) are the static interface
+    of every layer; a ``forward`` override with no matching ``contract``
+    silently drops that layer out of ``repro check-model`` coverage.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -58,6 +68,8 @@ RULES = {
     "REP103": "float32 literal in library code (substrate is float64)",
     "REP104": "public library module without __all__",
     "REP105": "bare except: in library code (catch a concrete type)",
+    "REP106": "mutable default argument (shared across calls)",
+    "REP107": "Module subclass overrides forward but defines no contract()",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -249,8 +261,76 @@ def _check_bare_except(tree: ast.AST, path: str, out: List[Violation]) -> None:
             ))
 
 
+# Calls whose result is a fresh mutable container every evaluation — as a
+# *default* they are evaluated once, so the container is shared anyway.
+_MUTABLE_FACTORY_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORY_CALLS):
+        return True
+    return False
+
+
+def _check_mutable_default(tree: ast.AST, path: str,
+                           out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                out.append(Violation(
+                    path, default.lineno, default.col_offset, "REP106",
+                    f"mutable default argument in {node.name}() is evaluated "
+                    "once and shared across calls; default to None and "
+                    "construct inside the body",
+                ))
+
+
+def _module_bases(node: ast.ClassDef) -> set:
+    """Base-class names of a class definition (``Module``, ``nn.Module``)."""
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _check_forward_without_contract(tree: ast.AST, path: str,
+                                    out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "Module" not in _module_bases(node):
+            continue
+        methods = {item.name for item in node.body
+                   if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        if "forward" in methods and "contract" not in methods:
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP107",
+                f"{node.name} overrides forward but defines no contract(); "
+                "add a contract() so repro check-model covers the layer",
+            ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
-           _check_missing_all, _check_bare_except)
+           _check_missing_all, _check_bare_except, _check_mutable_default,
+           _check_forward_without_contract)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

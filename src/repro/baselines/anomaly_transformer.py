@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.attention import AnomalyAttention
@@ -52,6 +53,15 @@ class AnomalyTransformerModel(Module):
         reconstruction = self.head(attended)
         return reconstruction, series_assoc, prior_assoc
 
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "AnomalyTransformerModel")
+        embedded = child_contract("embed", self.embed, spec)
+        attended, series, prior = child_contract(
+            "attention", self.attention, embedded
+        )
+        reconstruction = child_contract("head", self.head, attended)
+        return reconstruction, series, prior
+
 
 class AnomalyTransformerDetector(NeuralWindowDetector):
     """AnomalyTransformer-lite on the shared detector API."""
@@ -73,15 +83,23 @@ class AnomalyTransformerDetector(NeuralWindowDetector):
                    service_id: str) -> Tensor:
         reconstruction, series_assoc, prior_assoc = model(windows)
         recon = F.mse_loss(reconstruction, windows)
-        # Minimax collapsed: encourage the series association to *differ*
-        # from the prior on normal data so discrepancy is informative.
+        # Minimax as alternating stop-gradients in one objective: the push
+        # term moves the series association away from a frozen prior, the
+        # pull term moves the prior (through sigma_proj) toward a frozen
+        # series association.  Detaching the prior in *both* terms would
+        # leave sigma_proj with no gradient path at all.
         eps = 1e-8
         series_safe = series_assoc.clip(eps, 1.0)
-        prior_safe = Tensor(np.clip(prior_assoc.data, eps, 1.0))
-        discrepancy = (
-            series_safe * (series_safe.log() - prior_safe.log())
+        prior_safe = prior_assoc.clip(eps, 1.0)
+        prior_const = Tensor(prior_safe.data)
+        series_const = Tensor(series_safe.data)
+        push = (
+            series_safe * (series_safe.log() - prior_const.log())
         ).sum(axis=-1).mean()
-        return recon - self.discrepancy_weight * discrepancy
+        pull = (
+            series_const * (series_const.log() - prior_safe.log())
+        ).sum(axis=-1).mean()
+        return recon - self.discrepancy_weight * (push - pull)
 
     def window_errors(self, model: Module, windows: np.ndarray,
                       service_id: str) -> np.ndarray:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn.modules.attention import MultiheadSelfAttention
 from repro.nn.modules.base import Module
@@ -34,30 +35,51 @@ class DcDetectorModel(Module):
         self.window = window
         self.embed_point = Linear(num_features, dim, rng=rng)
         self.embed_patch = Linear(num_features * patch, dim, rng=rng)
-        self.point_attention = MultiheadSelfAttention(dim, heads, rng=rng)
-        self.patch_attention = MultiheadSelfAttention(dim, heads, rng=rng)
+        # The contrastive objective reads only the attention maps, so the
+        # value/output projections would be dead parameters (GF301).
+        self.point_attention = MultiheadSelfAttention(dim, heads, rng=rng,
+                                                      attention_only=True)
+        self.patch_attention = MultiheadSelfAttention(dim, heads, rng=rng,
+                                                      attention_only=True)
 
     def forward(self, windows: Tensor):
         batch, window, features = windows.shape
         point_embedded = self.embed_point(windows)
-        _, point_assoc = self.point_attention(point_embedded,
-                                              return_attention=True)
+        point_assoc = self.point_attention(point_embedded)
         patches = windows.reshape(batch, window // self.patch,
                                   self.patch * features)
         patch_embedded = self.embed_patch(patches)
-        _, patch_assoc = self.patch_attention(patch_embedded,
-                                              return_attention=True)
+        patch_assoc = self.patch_attention(patch_embedded)
         return point_assoc, patch_assoc
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "DcDetectorModel")
+        spec.require_axis(1, self.window, "DcDetectorModel", "window")
+        point = child_contract(
+            "point_attention", self.point_attention,
+            child_contract("embed_point", self.embed_point, spec),
+        )
+        patches = spec.with_shape((
+            spec.shape[0], spec.shape[1] // self.patch,
+            spec.shape[2] * self.patch,
+        ))
+        patch = child_contract(
+            "patch_attention", self.patch_attention,
+            child_contract("embed_patch", self.embed_patch, patches),
+        )
+        return point, patch
 
     def aligned_distributions(self, point_assoc, patch_assoc):
         """Upsample the patch attention rows to per-timestep resolution.
 
-        Returns two stochastic row distributions of shape ``(B, H, T, T)``.
+        Returns a stochastic row distribution of shape ``(B, H, T, T)``.
+        Index-based so it works on Tensors as well as arrays: a Tensor
+        input keeps its gradient path into the patch branch (repeating via
+        ``.data`` would silently freeze ``embed_patch``/``patch_attention``).
         """
         expand = self.patch
-        upsampled = np.repeat(np.repeat(patch_assoc, expand, axis=-2),
-                              expand, axis=-1) / expand
-        return upsampled
+        idx = np.repeat(np.arange(patch_assoc.shape[-1]), expand)
+        return patch_assoc[..., idx, :][..., idx] * (1.0 / expand)
 
 
 class DcDetector(NeuralWindowDetector):
@@ -79,9 +101,7 @@ class DcDetector(NeuralWindowDetector):
     def _discrepancy_tensor(self, model, windows: Tensor) -> Tensor:
         """Differentiable symmetric KL between the two branch distributions."""
         point_assoc, patch_assoc = model(windows)
-        upsampled = Tensor(
-            np.clip(model.aligned_distributions(None, patch_assoc.data), 1e-8, 1.0)
-        )
+        upsampled = model.aligned_distributions(None, patch_assoc).clip(1e-8, 1.0)
         point_safe = point_assoc.clip(1e-8, 1.0)
         kl_forward = (point_safe * (point_safe.log() - upsampled.log())).sum(axis=-1)
         kl_backward = (upsampled * (upsampled.log() - point_safe.log())).sum(axis=-1)

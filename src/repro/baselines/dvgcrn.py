@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
@@ -58,6 +59,16 @@ class DvgcrnModel(Module):
         else:
             z = mu
         reconstruction = self.decoder(z)
+        return reconstruction, mu, logvar
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "DvgcrnModel")
+        spec.require_axis(2, self.num_features, "DvgcrnModel", "num_features")
+        mixed = child_contract("mix", self.mix, spec)
+        states, _ = child_contract("encoder", self.encoder, mixed)
+        mu = child_contract("mu_head", self.mu_head, states)
+        logvar = child_contract("logvar_head", self.logvar_head, states)
+        reconstruction = child_contract("decoder", self.decoder, mu)
         return reconstruction, mu, logvar
 
 

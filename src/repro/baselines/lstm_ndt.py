@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import ContractError, TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
@@ -79,6 +80,20 @@ class LstmNdtModel(Module):
             h, c = self.cell(windows[:, t, :], (h, c))
             predictions.append(self.head(h))
         return stack(predictions, axis=1)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "LstmNdtModel")
+        if spec.shape[1].is_concrete and spec.shape[1].value < 2:
+            raise ContractError(
+                "LstmNdtModel needs at least 2 timesteps to forecast"
+            )
+        step = spec.with_shape((spec.shape[0], spec.shape[-1]))
+        hidden, _ = child_contract("cell", self.cell, step)
+        prediction = child_contract("head", self.head, hidden)
+        return spec.with_shape(
+            (spec.shape[0], spec.shape[1] - 1, prediction.shape[-1]),
+            prediction.dtype,
+        )
 
 
 class LstmNdtDetector(NeuralWindowDetector):

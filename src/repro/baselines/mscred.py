@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
@@ -52,6 +53,14 @@ class MscredModel(Module):
     def forward(self, signatures: Tensor) -> Tensor:
         states, _ = self.encoder(signatures)   # (B, S, H)
         return self.decoder(states)            # (B, S, m*m)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "MscredModel")
+        spec.require_axis(1, self.segments, "MscredModel", "segments")
+        spec.require_axis(2, self.signature_dim, "MscredModel",
+                          "signature_dim")
+        states, _ = child_contract("encoder", self.encoder, spec)
+        return child_contract("decoder", self.decoder, states)
 
 
 class MscredDetector(NeuralWindowDetector):

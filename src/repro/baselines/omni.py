@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.base import Module
@@ -47,6 +48,14 @@ class OmniModel(Module):
             z = mu
         decoded, _ = self.decoder(z)                 # (B, T, H)
         reconstruction = self.out_head(decoded)      # (B, T, m)
+        return reconstruction, mu, logvar
+
+    def contract(self, spec: TensorSpec):
+        states, _ = child_contract("encoder", self.encoder, spec)
+        mu = child_contract("mu_head", self.mu_head, states)
+        logvar = child_contract("logvar_head", self.logvar_head, states)
+        decoded, _ = child_contract("decoder", self.decoder, mu)
+        reconstruction = child_contract("out_head", self.out_head, decoded)
         return reconstruction, mu, logvar
 
 

@@ -14,6 +14,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.activations import ReLU
@@ -64,6 +65,23 @@ class ProsModel(Module):
         else:
             z = mu
         decoded = self.dec2(self.act(self.dec1(concatenate([z, domain], axis=-1))))
+        return decoded, flat, mu, logvar
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "ProsModel")
+        spec.require_axis(1, self.window, "ProsModel", "window")
+        domain_dim = self.domain_table.shape[1]
+        flat = spec.with_shape((spec.shape[0], spec.shape[1] * spec.shape[2]))
+        conditioned = flat.with_shape(
+            (flat.shape[0], flat.shape[1] + domain_dim)
+        )
+        hidden = child_contract("enc1", self.enc1, conditioned)
+        mu = child_contract("enc_mu", self.enc_mu, hidden)
+        logvar = child_contract("enc_logvar", self.enc_logvar, hidden)
+        latent = mu.with_shape((mu.shape[0], mu.shape[1] + domain_dim))
+        decoded = child_contract(
+            "dec2", self.dec2, child_contract("dec1", self.dec1, latent)
+        )
         return decoded, flat, mu, logvar
 
 

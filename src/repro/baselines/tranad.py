@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.attention import TransformerEncoderLayer
@@ -30,6 +31,8 @@ class TranAdModel(Module):
     def __init__(self, window: int, num_features: int, dim: int = 16,
                  heads: int = 4, rng: np.random.Generator | None = None):
         super().__init__()
+        self.window = window
+        self.num_features = num_features
         self.embed = Linear(2 * num_features, dim, rng=rng)
         self.encoder = TransformerEncoderLayer(dim, heads, rng=rng)
         self.decoder1 = Linear(dim, num_features, rng=rng)
@@ -48,6 +51,19 @@ class TranAdModel(Module):
         phase1 = self.decoder1(self._encode(windows, zero_focus))
         focus = Tensor((phase1.data - windows.data) ** 2)  # self-conditioning
         phase2 = self.decoder2(self._encode(windows, focus))
+        return phase1, phase2
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "TranAdModel")
+        spec.require_axis(1, self.window, "TranAdModel", "window")
+        spec.require_axis(2, self.num_features, "TranAdModel", "num_features")
+        stacked = spec.with_shape(
+            (spec.shape[0], spec.shape[1], spec.shape[2] * 2)
+        )
+        embedded = child_contract("embed", self.embed, stacked)
+        encoded = child_contract("encoder", self.encoder, embedded)
+        phase1 = child_contract("decoder1", self.decoder1, encoded)
+        phase2 = child_contract("decoder2", self.decoder2, encoded)
         return phase1, phase2
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec, child_contract
 from repro.baselines.base import BaselineConfig, NeuralWindowDetector
 from repro.nn import functional as F
 from repro.nn.modules.activations import ReLU
@@ -51,6 +52,19 @@ class VaeModel(Module):
         z = mu + (logvar * 0.5).exp() * noise if self.training else mu
         reconstruction = self.decode(z)
         return reconstruction, flat, mu, logvar
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(3, "VaeModel")
+        spec.require_axis(1, self.window, "VaeModel", "window")
+        spec.require_axis(2, self.num_features, "VaeModel", "num_features")
+        flat = spec.with_shape((spec.shape[0], spec.shape[1] * spec.shape[2]))
+        hidden = child_contract("enc1", self.enc1, flat)
+        mu = child_contract("enc_mu", self.enc_mu, hidden)
+        logvar = child_contract("enc_logvar", self.enc_logvar, hidden)
+        decoded = child_contract(
+            "dec2", self.dec2, child_contract("dec1", self.dec1, mu)
+        )
+        return decoded, flat, mu, logvar
 
 
 class VaeDetector(NeuralWindowDetector):

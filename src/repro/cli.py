@@ -9,6 +9,9 @@ Commands
 ``compare``
     Run MACE against selected baselines under the unified protocol.
 ``analyze``
+    Static analyzer: abstract interpretation of the MACE and baseline
+    model graphs (numerical-domain findings + gradient-flow audit).
+``analyze-data``
     Dataset diagnostics: diversity, anomaly composition, recommended window.
 ``lint``
     Repository lint (``repro.analysis.lint``) over the configured paths.
@@ -54,8 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="baseline names (see repro.baselines.ALL_BASELINES)")
     compare.add_argument("--epochs", type=int, default=4)
 
-    analyze = sub.add_parser("analyze", help="dataset diagnostics")
-    _add_dataset_args(analyze)
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analyzer over the model graphs (intervals + grad flow)",
+    )
+    analyze.add_argument("--models", nargs="+", metavar="MODEL",
+                         help="subset of models (default: MACE + all baselines)")
+    analyze.add_argument("--envelope", type=float, default=1e3,
+                         help="abstract input bound [-E, E] (default 1e3)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the machine-readable report")
+    analyze.add_argument("--baseline", metavar="FILE",
+                         help="accepted-warnings baseline file")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline from current warnings")
+
+    analyze_data = sub.add_parser("analyze-data", help="dataset diagnostics")
+    _add_dataset_args(analyze_data)
 
     lint = sub.add_parser("lint", help="run the repository linter")
     lint.add_argument("paths", nargs="*",
@@ -173,6 +191,62 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis import audit
+
+    try:
+        report = audit.audit_models(args.models, envelope=args.envelope)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        path = args.baseline or "analysis_baseline.json"
+        audit.write_baseline(path, report)
+        accepted = audit.load_baseline(path)["accepted_warnings"]
+        print(f"wrote {path} ({len(accepted)} accepted warnings)")
+        return 0
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = audit.load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"cannot read analyzer baseline: {error}", file=sys.stderr)
+            return 2
+    failing = audit.new_findings(report, baseline)
+    if args.json:
+        payload = {key: value for key, value in report.items()
+                   if not key.startswith("_")}
+        payload["failing"] = [audit.fingerprint(f) for f in failing]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if failing else 0
+    from repro.eval import format_table
+
+    rows = [(m["model"],
+             "skipped" if m["skipped"] else m["nodes"],
+             sum(1 for f in m["findings"]
+                 if f["severity"] == "error" and not f["suppressed"]),
+             sum(1 for f in m["findings"]
+                 if f["severity"] == "warn" and not f["suppressed"]),
+             sum(1 for f in m["findings"] if f["suppressed"]))
+            for m in report["models"]]
+    print(format_table(("model", "graph nodes", "errors", "warnings",
+                        "suppressed"), rows,
+                       title=f"static analysis (envelope ±{args.envelope:g})"))
+    for finding in failing:
+        location = f"{finding.file}:{finding.line}" if finding.file else "<graph>"
+        print(f"{finding.severity.upper()} {finding.rule} "
+              f"[{finding.model} :: {finding.module_path} :: {finding.op}] "
+              f"{location}\n    {finding.message}")
+    if failing:
+        print(f"{len(failing)} finding(s) not covered by the baseline",
+              file=sys.stderr)
+        return 1
+    print("analysis clean: no findings outside the baseline")
+    return 0
+
+
+def _cmd_analyze_data(args) -> int:
     from repro.data import kind_ratios
     from repro.eval import format_table
     from repro.frequency import pairwise_kde_kl, recommend_window
@@ -282,6 +356,7 @@ _COMMANDS = {
     "detect": _cmd_detect,
     "compare": _cmd_compare,
     "analyze": _cmd_analyze,
+    "analyze-data": _cmd_analyze_data,
     "chaos": _cmd_chaos,
     "lint": _cmd_lint,
     "check-model": _cmd_check_model,

@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.analysis.spec import TensorSpec
 from repro.frequency.basis import FourierBasis, num_rfft_bins
 from repro.frequency.dft import rfft_amplitude
 from repro.nn.modules.base import Module
@@ -265,6 +266,15 @@ class ContextAwareDFT(Module):
         out = batch @ self._weight  # (N, m, 1, 2k) via batch broadcast
         return out.reshape(n, m, out.shape[-1])
 
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "ContextAwareDFT")
+        spec.require_axis(1, self.subspace.window, "ContextAwareDFT", "window")
+        spec.require_axis(2, self._weight.shape[0], "ContextAwareDFT",
+                          "num_features")
+        return spec.with_shape(
+            (spec.shape[0], spec.shape[2], self._weight.shape[-1])
+        )
+
 
 class ContextAwareIDFT(Module):
     """Differentiable synthesis from subspace coefficients.
@@ -286,3 +296,13 @@ class ContextAwareIDFT(Module):
         n, m, c = coeffs.shape
         batch = coeffs.reshape(n, m, 1, c) @ self._weight  # (N, m, 1, T)
         return batch.reshape(n, m, batch.shape[-1]).swapaxes(1, 2)
+
+    def contract(self, spec: TensorSpec) -> TensorSpec:
+        spec.require_ndim(3, "ContextAwareIDFT")
+        spec.require_axis(1, self._weight.shape[0], "ContextAwareIDFT",
+                          "num_features")
+        spec.require_axis(2, self._weight.shape[1], "ContextAwareIDFT",
+                          "num_coefficients")
+        return spec.with_shape(
+            (spec.shape[0], self.subspace.window, spec.shape[1])
+        )

@@ -88,7 +88,11 @@ def conv1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                 grad_padded = grad_padded[..., padding:length - padding]
             x._accumulate(grad_padded)
 
-    return Tensor._from_op(out, parents, backward, "conv1d")
+    return Tensor._from_op(out, parents, backward, "conv1d",
+                           attrs={"stride": int(stride),
+                                  "padding": int(padding),
+                                  "kernel": int(kernel),
+                                  "in_channels": int(x.shape[1])})
 
 
 def conv_transpose1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
@@ -131,7 +135,11 @@ def conv_transpose1d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2)))
 
-    return Tensor._from_op(out, parents, backward, "conv_transpose1d")
+    return Tensor._from_op(out, parents, backward, "conv_transpose1d",
+                           attrs={"stride": int(stride),
+                                  "padding": int(padding),
+                                  "kernel": int(kernel),
+                                  "in_channels": int(c_in)})
 
 
 def avg_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -213,16 +221,23 @@ def _softplus_stable(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Softmax with a detached max-shift for numerical stability."""
+    """Softmax with a detached max-shift for numerical stability.
+
+    The analyzer cannot see that the detached shift equals the running max,
+    which guarantees ``x - shift <= 0`` and a denominator ``>= 1``; the
+    range assertions below state those facts (DESIGN.md section 9).
+    """
     shift = Tensor(x.data.max(axis=axis, keepdims=True))
-    exps = (x - shift).exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    exps = (x - shift).exp()  # analyzer: ok range=[0,1]
+    return exps / exps.sum(axis=axis, keepdims=True)  # analyzer: ok range=[0,1]
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    # Same max-shift argument as softmax: the summed exp term is >= 1.
     shift = Tensor(x.data.max(axis=axis, keepdims=True))
     shifted = x - shift
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    summed = shifted.exp().sum(axis=axis, keepdims=True)  # analyzer: ok range=[1,inf]
+    return shifted - summed.log()
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:

@@ -22,20 +22,30 @@ __all__ = ["MultiheadSelfAttention", "AnomalyAttention", "TransformerEncoderLaye
 
 
 class MultiheadSelfAttention(Module):
-    """Multi-head self-attention over ``(N, T, D)`` inputs."""
+    """Multi-head self-attention over ``(N, T, D)`` inputs.
+
+    ``attention_only=True`` builds a query/key-only block whose forward
+    returns just the ``(N, H, T, T)`` attention map: purely contrastive
+    consumers (DCdetector) never read the value path, and instantiating
+    ``v_proj``/``out_proj`` anyway would leave them as dead parameters
+    (analyzer rule GF301).
+    """
 
     def __init__(self, dim: int, num_heads: int = 4, dropout: float = 0.0,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 attention_only: bool = False):
         super().__init__()
         if dim % num_heads != 0:
             raise ValueError("dim must be divisible by num_heads")
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        self.attention_only = attention_only
         self.q_proj = Linear(dim, dim, rng=rng)
         self.k_proj = Linear(dim, dim, rng=rng)
-        self.v_proj = Linear(dim, dim, rng=rng)
-        self.out_proj = Linear(dim, dim, rng=rng)
+        if not attention_only:
+            self.v_proj = Linear(dim, dim, rng=rng)
+            self.out_proj = Linear(dim, dim, rng=rng)
         self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
 
     def _split_heads(self, x: Tensor) -> Tensor:
@@ -46,11 +56,13 @@ class MultiheadSelfAttention(Module):
         n, t, _ = x.shape
         queries = self._split_heads(self.q_proj(x))
         keys = self._split_heads(self.k_proj(x))
-        values = self._split_heads(self.v_proj(x))
         scores = (queries @ keys.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
         attention = F.softmax(scores, axis=-1)
         if self.dropout is not None:
             attention = self.dropout(attention)
+        if self.attention_only:
+            return attention
+        values = self._split_heads(self.v_proj(x))
         context = attention @ values  # (N, H, T, hd)
         context = context.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
         out = self.out_proj(context)
@@ -61,8 +73,14 @@ class MultiheadSelfAttention(Module):
     def contract(self, spec: TensorSpec) -> TensorSpec:
         spec.require_ndim(3, "MultiheadSelfAttention")
         spec.require_axis(-1, self.dim, "MultiheadSelfAttention", "dim")
-        for name in ("q_proj", "k_proj", "v_proj", "out_proj"):
+        names = (("q_proj", "k_proj") if self.attention_only
+                 else ("q_proj", "k_proj", "v_proj", "out_proj"))
+        for name in names:
             child_contract(name, getattr(self, name), spec)
+        if self.attention_only:
+            return spec.with_shape(
+                (spec.shape[0], self.num_heads, spec.shape[1], spec.shape[1])
+            )
         return spec
 
 
@@ -92,7 +110,9 @@ class AnomalyAttention(Module):
             np.abs(np.arange(t)[:, None] - np.arange(t)[None, :])[None, None, :, :]
         )
         prior = (-(distance * distance) / (2.0 * sigma * sigma)).exp()
-        prior = prior / prior.sum(axis=-1, keepdims=True)
+        # Row sums are >= 1: the diagonal entry is exp(0), invisible to the
+        # analyzer's interval domain, hence the range assertion.
+        prior = prior / prior.sum(axis=-1, keepdims=True)  # analyzer: ok range=[0,1]
         return out, series_assoc, prior
 
     def contract(self, spec: TensorSpec):

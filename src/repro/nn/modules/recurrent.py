@@ -92,6 +92,7 @@ class LSTMCell(Module):
     def __init__(self, input_size: int, hidden_size: int,
                  rng: np.random.Generator | None = None):
         super().__init__()
+        self.input_size = input_size
         self.hidden_size = hidden_size
         bound = 1.0 / math.sqrt(hidden_size)
         self.weight = Parameter(
@@ -111,3 +112,10 @@ class LSTMCell(Module):
         c_next = forget_gate * c + input_gate * candidate
         h_next = output_gate * c_next.tanh()
         return h_next, c_next
+
+    def contract(self, spec: TensorSpec):
+        spec.require_ndim(2, "LSTMCell")
+        spec.require_axis(-1, self.input_size, "LSTMCell", "input_size")
+        merge_dtype(spec, self.weight, self.bias, who="LSTMCell")
+        state = spec.with_shape((spec.shape[0], self.hidden_size))
+        return state, state

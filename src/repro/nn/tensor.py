@@ -103,6 +103,7 @@ class Tensor:
         "_parents",
         "_parent_versions",
         "_op",
+        "_attrs",
         "_version",
     )
 
@@ -114,6 +115,7 @@ class Tensor:
         self._parents: tuple = ()
         self._parent_versions: tuple = ()
         self._op = "leaf"
+        self._attrs: dict | None = None
         self._version = 0
 
     @property
@@ -178,10 +180,17 @@ class Tensor:
     # Graph construction
     # ------------------------------------------------------------------
     @staticmethod
-    def _from_op(data: np.ndarray, parents: tuple, backward, op: str) -> "Tensor":
-        """Create the output tensor of an op, recording the graph if enabled."""
+    def _from_op(data: np.ndarray, parents: tuple, backward, op: str,
+                 attrs: dict | None = None) -> "Tensor":
+        """Create the output tensor of an op, recording the graph if enabled.
+
+        ``attrs`` carries static op parameters (clip bounds, exponents,
+        strides) for observers such as the dataflow analyzer; it is not
+        consulted by autograd itself.
+        """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data)
+        out._attrs = attrs
         if requires:
             out.requires_grad = True
             out._backward = backward
@@ -328,7 +337,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._from_op(data, (self,), backward, "pow")
+        return Tensor._from_op(data, (self,), backward, "pow",
+                               attrs={"exponent": float(exponent)})
 
     def __matmul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
@@ -436,7 +446,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad * mask)
 
-        return Tensor._from_op(data, (self,), backward, "clip")
+        return Tensor._from_op(data, (self,), backward, "clip",
+                               attrs={"low": float(low), "high": float(high)})
 
     def sign(self) -> "Tensor":
         """Sign of each element; gradient is zero everywhere (like torch)."""
@@ -621,8 +632,13 @@ def stack(tensors, axis: int = 0) -> Tensor:
     return Tensor._from_op(data, tuple(tensors), backward, "stack")
 
 
-def where(condition, a, b) -> Tensor:
-    """Elementwise select; the condition is treated as constant."""
+def where(condition, a, b, *, _op: str = "where") -> Tensor:
+    """Elementwise select; the condition is treated as constant.
+
+    ``_op`` lets wrappers whose condition is derived from the operands
+    (``maximum``/``minimum``) record a more precise op name, so the static
+    analyzer can apply a tighter transfer function than the select union.
+    """
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
@@ -634,7 +650,7 @@ def where(condition, a, b) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape))
 
-    return Tensor._from_op(data, (a, b), backward, "where")
+    return Tensor._from_op(data, (a, b), backward, _op)
 
 
 def maximum(a, b) -> Tensor:
@@ -642,7 +658,7 @@ def maximum(a, b) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     take_a = a.data >= b.data
-    return where(take_a, a, b)
+    return where(take_a, a, b, _op="maximum")
 
 
 def minimum(a, b) -> Tensor:
@@ -650,7 +666,7 @@ def minimum(a, b) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     take_a = a.data <= b.data
-    return where(take_a, a, b)
+    return where(take_a, a, b, _op="minimum")
 
 
 def odd_power(x, gamma: float) -> Tensor:
@@ -668,7 +684,8 @@ def odd_power(x, gamma: float) -> Tensor:
         if x.requires_grad:
             x._accumulate(grad * gamma * magnitude ** (gamma - 1))
 
-    return Tensor._from_op(data, (x,), backward, "odd_power")
+    return Tensor._from_op(data, (x,), backward, "odd_power",
+                           attrs={"gamma": float(gamma)})
 
 
 def odd_root(x, gamma: float, eps: float = 1e-8) -> Tensor:
@@ -687,7 +704,8 @@ def odd_root(x, gamma: float, eps: float = 1e-8) -> Tensor:
             safe = np.maximum(magnitude, eps)
             x._accumulate(grad * (1.0 / gamma) * safe ** (1.0 / gamma - 1.0))
 
-    return Tensor._from_op(data, (x,), backward, "odd_root")
+    return Tensor._from_op(data, (x,), backward, "odd_root",
+                           attrs={"gamma": float(gamma), "eps": float(eps)})
 
 
 def pad1d(x: Tensor, left: int, right: int, value: float = 0.0) -> Tensor:
@@ -703,4 +721,6 @@ def pad1d(x: Tensor, left: int, right: int, value: float = 0.0) -> Tensor:
             slicer = [slice(None)] * (x.ndim - 1) + [slice(left, left + length)]
             x._accumulate(grad[tuple(slicer)])
 
-    return Tensor._from_op(data, (x,), backward, "pad1d")
+    return Tensor._from_op(data, (x,), backward, "pad1d",
+                           attrs={"left": int(left), "right": int(right),
+                                  "value": float(value)})

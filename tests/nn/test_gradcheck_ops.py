@@ -121,6 +121,50 @@ def test_grad_conv_transpose1d(seed, stride):
     )
 
 
+@given(seed=st.integers(0, 10_000),
+       stride=st.sampled_from([1, 2]),
+       padding=st.sampled_from([0, 1, 2]))
+def test_grad_conv_transpose1d_padding(seed, stride, padding):
+    # Padding crops the full-length output, so its backward must pad the
+    # incoming gradient back before re-windowing — checked per combination.
+    x = _tensor((2, 3, 6), seed)
+    w = _tensor((3, 2, 4), seed + 1)
+    b = _tensor((2,), seed + 2)
+    assert gradcheck(
+        lambda a, ww, bb: F.conv_transpose1d(a, ww, bb, stride=stride,
+                                             padding=padding),
+        [x, w, b],
+    )
+
+
+@given(seed=st.integers(0, 10_000),
+       stride=st.sampled_from([1, 2]),
+       padding=st.sampled_from([0, 1]))
+def test_grad_conv_transpose1d_module(seed, stride, padding):
+    from repro.nn.modules.conv import ConvTranspose1d
+
+    layer = ConvTranspose1d(3, 2, 3, stride=stride, padding=padding,
+                            rng=np.random.default_rng(seed))
+    x = _tensor((2, 3, 5), seed)
+    params = list(layer.parameters())
+    assert gradcheck(lambda a, *ps: layer(a), [x, *params])
+
+
+@given(seed=st.integers(0, 10_000))
+def test_grad_gru(seed):
+    from repro.nn.modules.recurrent import GRU
+
+    gru = GRU(2, 3, rng=np.random.default_rng(seed))
+    x = _tensor((2, 4, 2), seed)
+    params = list(gru.parameters())
+
+    def fn(a, *ps):
+        sequence, last = gru(a)
+        return sequence.sum() + last.sum()
+
+    assert gradcheck(fn, [x, *params], atol=1e-3)
+
+
 @given(seed=st.integers(0, 10_000))
 def test_grad_pools(seed):
     x = _tensor((2, 3, 12), seed)

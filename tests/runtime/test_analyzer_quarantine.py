@@ -1,0 +1,104 @@
+"""Static analyzer prediction → runtime containment, end to end.
+
+The scorer below carries the DF201 bug class (log of a centered signal):
+under the analyzer's input envelope the log argument reaches non-positive
+values, so ``repro.analysis.dataflow`` flags it statically.  The runtime
+half shows what happens when that prediction comes true in serving: the
+sanitizer clips the offending glitch into its calibrated range — input
+hygiene alone cannot fix a model-side domain bug — the score goes NaN, the
+circuit breaker counts the failures, and the service lands in QUARANTINED
+with the spectral fallback answering.  Static finding and runtime
+containment are two views of the same defect.
+"""
+
+import numpy as np
+
+from repro.analysis.dataflow import propagate
+from repro.analysis.trace import trace
+from repro.core.detector import AnomalyDetector
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Tensor
+from repro.runtime import BreakerConfig, ServingRuntime
+from repro.runtime.health import HealthState
+
+
+class UnsafeLogScorer(Module):
+    """Per-row score ``sum(log(x + 2))`` — NaN once any ``x <= -2``.
+
+    Safe on the calibrated sine (centered amplitude ~1.1) but inside the
+    sanitizer's clip range, exactly the gap DF201's envelope exposes.
+    """
+
+    def forward(self, x):
+        return (x + 2.0).log().sum(axis=-1)
+
+
+class AnalyzerFlaggedDetector(AnomalyDetector):
+    """Detector whose scoring path routes through the unsafe scorer."""
+
+    name = "unsafe-log"
+
+    def __init__(self):
+        self.scorer = UnsafeLogScorer()
+        self._mean = {}
+
+    def fit(self, service_ids, train_series):
+        for service_id, series in zip(service_ids, train_series):
+            series = np.atleast_2d(np.asarray(series, dtype=float))
+            self._mean[service_id] = series.mean(axis=0)
+        return self
+
+    def score(self, service_id, series):
+        centered = (np.atleast_2d(np.asarray(series, dtype=float))
+                    - self._mean[service_id])
+        return self.scorer(Tensor(centered)).data
+
+
+def _history(seed=0, length=240, features=2):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    return np.stack(
+        [np.sin(2 * np.pi * t / 20) + 0.1 * rng.normal(size=length)
+         for _ in range(features)], axis=1,
+    )
+
+
+def test_analyzer_flags_the_scorer_statically():
+    scorer = UnsafeLogScorer()
+    x = Tensor(np.zeros((4, 2)))
+    graph = trace(lambda: scorer(x).sum(), inputs=(x,), module=scorer)
+    # Envelope matches the sanitizer's reach: clipping to median +- 12
+    # robust sigmas still admits values far below the log's domain edge.
+    _, findings = propagate(graph, envelope=12.0)
+    log_errors = [f for f in findings
+                  if f.rule == "DF201" and not f.suppressed]
+    assert log_errors and all(f.severity == "error" for f in log_errors)
+
+
+def test_runtime_quarantines_the_predicted_instability():
+    history = _history()
+    detector = AnalyzerFlaggedDetector().fit(["svc"], [history])
+    runtime = ServingRuntime(
+        detector, window=40, q=1e-2,
+        breaker_config=BreakerConfig(failure_threshold=3,
+                                     recovery_successes=2,
+                                     probe_successes=1, base_backoff=4,
+                                     max_backoff=32),
+    )
+    runtime.start_service("svc", history)
+
+    for row in _history(seed=1)[:45]:
+        outcome = runtime.update("svc", row)
+        assert not outcome.used_fallback
+    assert runtime.health("svc").state is HealthState.HEALTHY
+
+    # A -50 glitch: far outside the calibrated range, so the sanitizer
+    # clips it — but the clipped value still lands in log's bad domain.
+    glitch = np.full(2, -50.0)
+    for _ in range(3):
+        outcome = runtime.update("svc", glitch)
+        assert outcome.clipped_features == (0, 1)  # sanitizer did act
+        assert outcome.used_fallback               # model path failed anyway
+        assert np.isfinite(outcome.score)          # fallback stays sane
+    assert runtime.health("svc").state is HealthState.QUARANTINED
+    assert runtime.health_states()["svc"] is HealthState.QUARANTINED

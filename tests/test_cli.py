@@ -22,8 +22,8 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "smd" in out and "j-d2" in out
 
-    def test_analyze(self, capsys):
-        assert main(["analyze", "--dataset", "smd", "--services", "3",
+    def test_analyze_data(self, capsys):
+        assert main(["analyze-data", "--dataset", "smd", "--services", "3",
                      "--length", "256"]) == 0
         out = capsys.readouterr().out
         assert "diversity" in out and "recommended window" in out
