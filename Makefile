@@ -6,9 +6,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze analyze-baseline test chaos check-model help
+.PHONY: check lint analyze analyze-baseline test chaos chaos-train check-model help
 
-check: lint analyze test chaos
+check: lint analyze test chaos chaos-train
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -30,6 +30,13 @@ test:
 chaos:
 	$(PYTHON) -m pytest tests/runtime/test_chaos.py -q
 
+# Worker-fault chaos suite: seeded worker_kill / worker_hang / nan_grad
+# faults on >=30% of fleet jobs; the run must complete, recovered groups
+# must match the fault-free baseline bitwise, and FAILED groups must be
+# reported (not raised) in the FleetReport.
+chaos-train:
+	$(PYTHON) -m pytest tests/runtime/test_chaos_train.py -q
+
 check-model:
 	$(PYTHON) -m repro check-model
 
@@ -40,4 +47,5 @@ help:
 	@echo "make analyze-baseline - re-accept current analyzer warnings"
 	@echo "make test             - pytest"
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
+	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"
 	@echo "make check-model      - static MACE shape/dtype contract check"

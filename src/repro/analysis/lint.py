@@ -45,6 +45,14 @@ Rules
     of every layer; a ``forward`` override with no matching ``contract``
     silently drops that layer out of ``repro check-model`` coverage.
 
+``REP108`` blocking concurrency call without an explicit timeout
+    In a module that reaches for ``multiprocessing`` / ``threading`` /
+    ``concurrent.futures`` / ``queue`` / ``subprocess``, a bare
+    ``.join()`` / ``.get()`` / ``.result()`` / ``.wait()`` (no arguments,
+    no ``timeout=``) blocks forever on a hung worker — exactly the
+    failure mode the fleet orchestrator exists to survive.  Pass an
+    explicit timeout and handle expiry.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -70,6 +78,7 @@ RULES = {
     "REP105": "bare except: in library code (catch a concrete type)",
     "REP106": "mutable default argument (shared across calls)",
     "REP107": "Module subclass overrides forward but defines no contract()",
+    "REP108": "blocking concurrency call without an explicit timeout",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -328,9 +337,57 @@ def _check_forward_without_contract(tree: ast.AST, path: str,
             ))
 
 
+# Modules whose import marks a file as "does concurrency", gating REP108.
+_CONCURRENCY_MODULES = {"multiprocessing", "threading", "concurrent",
+                        "queue", "subprocess"}
+
+# Zero-argument forms of these methods block without bound on a wedged
+# worker/future/queue; an explicit timeout (keyword or positional) is the
+# only way out.
+_BLOCKING_METHODS = {"join", "get", "result", "wait"}
+
+
+def _imports_concurrency(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name.split(".")[0] in _CONCURRENCY_MODULES:
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _CONCURRENCY_MODULES:
+                return True
+    return False
+
+
+def _check_blocking_without_timeout(tree: ast.AST, path: str,
+                                    out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    if not _imports_concurrency(tree):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _BLOCKING_METHODS):
+            continue
+        # ``"".join(parts)`` / ``mapping.get(key)`` pass arguments; the
+        # forever-blocking concurrency forms are the bare zero-argument
+        # calls (``process.join()``, ``future.result()``, ``queue.get()``).
+        if node.args or node.keywords:
+            continue
+        out.append(Violation(
+            path, node.lineno, node.col_offset, "REP108",
+            f".{func.attr}() with no timeout blocks forever on a hung "
+            "worker; pass an explicit timeout and handle expiry",
+        ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
-           _check_forward_without_contract)
+           _check_forward_without_contract, _check_blocking_without_timeout)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

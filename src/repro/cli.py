@@ -21,6 +21,10 @@ Commands
     Fault-injection drill: stream a fleet through the fault-tolerant
     serving runtime while corrupting observations and scoring calls, and
     report how each service degraded and recovered.
+``train-fleet``
+    Fault-tolerant fleet training: shard per-group unified-model fits
+    across a worker pool with timeouts, retry + checkpoint resume, and
+    divergence rewind; optionally inject worker-level chaos faults.
 """
 
 from __future__ import annotations
@@ -94,6 +98,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject one scoring exception per N calls")
     chaos.add_argument("--chaos-seed", type=int, default=0,
                        help="seed of the fault injector (not the dataset)")
+
+    fleet = sub.add_parser(
+        "train-fleet",
+        help="fault-tolerant multiprocess fleet training (one unified "
+             "model per service group)",
+    )
+    _add_dataset_args(fleet)
+    fleet.add_argument("--epochs", type=int, default=3)
+    fleet.add_argument("--group-size", type=int, default=2,
+                       help="services per unified model (paper uses 10)")
+    fleet.add_argument("--workers", type=int, default=2,
+                       help="concurrent training worker processes")
+    fleet.add_argument("--timeout", type=float, default=300.0,
+                       help="per-attempt deadline in seconds")
+    fleet.add_argument("--max-attempts", type=int, default=3)
+    fleet.add_argument("--fleet-seed", type=int, default=0,
+                       help="seed all per-group seeds are derived from")
+    fleet.add_argument("--dir", dest="directory", default=None,
+                       help="checkpoint/result directory "
+                            "(default: a temporary one)")
+    fleet.add_argument("--fault-rate", type=float, default=0.0,
+                       help="inject worker chaos faults on this fraction "
+                            "of groups")
+    fleet.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the fault injector (not the fleet)")
 
     check = sub.add_parser(
         "check-model", help="statically validate MACE shape/dtype contracts"
@@ -319,6 +348,55 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_train_fleet(args) -> int:
+    import tempfile
+
+    from repro.core import MaceConfig
+    from repro.eval import format_table
+    from repro.runtime import (
+        FaultInjector,
+        FleetConfig,
+        FleetJob,
+        train_fleet,
+    )
+
+    dataset = _load(args)
+    config = MaceConfig(epochs=args.epochs)
+    jobs = []
+    services = list(dataset)
+    for index in range(0, len(services), max(args.group_size, 1)):
+        group = services[index:index + max(args.group_size, 1)]
+        jobs.append(FleetJob(
+            f"{args.dataset}-group{index // max(args.group_size, 1)}",
+            tuple(s.service_id for s in group),
+            tuple(s.train for s in group),
+        ))
+    fleet = FleetConfig(workers=args.workers, fleet_seed=args.fleet_seed,
+                        timeout=args.timeout, max_attempts=args.max_attempts)
+    faults = None
+    if args.fault_rate > 0.0:
+        injector = FaultInjector(seed=args.chaos_seed)
+        faults = injector.plan_worker_faults(
+            [job.group_id for job in jobs], args.fault_rate, args.epochs,
+        )
+    if args.directory is not None:
+        report = train_fleet(jobs, config, args.directory, fleet,
+                             faults=faults)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+            report = train_fleet(jobs, config, tmp, fleet, faults=faults)
+    injected = len(faults) if faults else 0
+    print(format_table(
+        ("group", "status", "attempts", "rewinds", "nonfinite", "epochs",
+         "final loss", "error"),
+        report.summary_rows(),
+        title=(f"fleet training on {args.dataset}: "
+               f"{len(report.done)} done, {len(report.failed)} failed, "
+               f"{injected} fault(s) injected, workers={args.workers}"),
+    ))
+    return 1 if report.failed else 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint
 
@@ -358,6 +436,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "analyze-data": _cmd_analyze_data,
     "chaos": _cmd_chaos,
+    "train-fleet": _cmd_train_fleet,
     "lint": _cmd_lint,
     "check-model": _cmd_check_model,
 }

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,17 +16,37 @@ from repro.nn.tensor import Tensor
 
 __all__ = ["TrainingHistory", "MaceTrainer"]
 
+# ``epoch_hook(trainer, optimizer, completed_epochs) -> int | None``:
+# return an epoch number to rewind the loop to, or None to continue.
+EpochHook = Callable[["MaceTrainer", Adam, int], Optional[int]]
+# ``batch_hook(epoch, batch_index, loss) -> Tensor | None``: may replace
+# the batch loss (fault injection); return None to keep it.
+BatchHook = Callable[[int, int, Tensor], Optional[Tensor]]
+
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch training diagnostics."""
+    """Per-epoch training diagnostics.
+
+    ``nonfinite_batches`` records every ``(epoch, batch_index)`` whose loss
+    or gradient norm came out NaN/Inf.  Those batches take **no** optimizer
+    step (the event is recorded instead), so a single poisoned batch cannot
+    silently corrupt the weights — and a watcher such as
+    :class:`repro.runtime.DivergenceGuard` can react at the epoch boundary.
+    """
 
     epoch_losses: List[float] = field(default_factory=list)
     grad_norms: List[float] = field(default_factory=list)
+    nonfinite_batches: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    def nonfinite_in_epoch(self, epoch: int) -> int:
+        """Number of non-finite batch events recorded during ``epoch``."""
+        return sum(1 for event_epoch, _ in self.nonfinite_batches
+                   if event_epoch == epoch)
 
 
 class MaceTrainer:
@@ -44,7 +64,9 @@ class MaceTrainer:
 
     def fit(self, service_ids: Sequence[str],
             train_series: Sequence[np.ndarray], *,
-            checkpointer=None, resume=None) -> "MaceTrainer":
+            checkpointer=None, resume=None,
+            epoch_hook: Optional[EpochHook] = None,
+            batch_hook: Optional[BatchHook] = None) -> "MaceTrainer":
         """Train on the given services' (normal) training series.
 
         Parameters
@@ -52,13 +74,31 @@ class MaceTrainer:
         checkpointer:
             Optional :class:`repro.runtime.Checkpointer`; its
             ``after_epoch(trainer, optimizer, epoch)`` hook runs once per
-            completed epoch so training survives a mid-``fit`` crash.
+            completed epoch so training survives a mid-``fit`` crash.  If
+            the object exposes ``on_fit_start(trainer, optimizer)`` it is
+            called once before the first epoch (used to snapshot the
+            pristine initial state as a rewind anchor).
         resume:
             Path to a training checkpoint written by a ``Checkpointer``.
             Restores model weights, optimizer moments, the epoch counter
             and the RNG state, then continues training — the resumed run
             replays the uninterrupted run bit for bit (the batch shuffle
             stream picks up exactly where the checkpoint left it).
+        epoch_hook:
+            Called after each completed epoch (and after its diagnostics
+            are appended to ``history``) but *before* the checkpointer, as
+            ``epoch_hook(trainer, optimizer, completed_epochs)``.  A
+            return value of ``None`` continues normally; an ``int`` rewinds
+            the loop to that epoch (the hook is responsible for having
+            restored the matching state, e.g. via
+            :func:`repro.runtime.restore_trainer`).  A rewound epoch is
+            never checkpointed, so the snapshot set only ever holds good
+            states.
+        batch_hook:
+            Called once per batch as ``batch_hook(epoch, batch_index,
+            loss)``; may return a replacement loss tensor (``None`` keeps
+            the computed one).  This is the seam the chaos suite uses to
+            inject ``nan_grad`` faults into a live training run.
         """
         if len(service_ids) != len(train_series):
             raise ValueError("service_ids and train_series must align")
@@ -76,26 +116,55 @@ class MaceTrainer:
             from repro.runtime.checkpoint import restore_trainer
 
             start_epoch = restore_trainer(self, optimizer, resume)
+        elif checkpointer is not None:
+            on_fit_start = getattr(checkpointer, "on_fit_start", None)
+            if on_fit_start is not None:
+                on_fit_start(self, optimizer)
         self.model.train()
-        for epoch in range(start_epoch, self.config.epochs):
+        epoch = start_epoch
+        while epoch < self.config.epochs:
             epoch_loss = 0.0
             epoch_norm = 0.0
             batches = 0
-            for batch in dataset.batches(self.config.batch_size, self.rng):
+            for batch_index, batch in enumerate(
+                    dataset.batches(self.config.batch_size, self.rng)):
                 optimizer.zero_grad()
                 output = self.model(Tensor(batch.windows), self.extractor,
                                     batch.service_id)
                 loss = self.model.loss(output)
+                if batch_hook is not None:
+                    replacement = batch_hook(epoch, batch_index, loss)
+                    if replacement is not None:
+                        loss = replacement
+                loss_value = float(loss.data)
+                if not np.isfinite(loss_value):
+                    # A poisoned batch must not reach the weights: skip the
+                    # step entirely and surface the event instead of
+                    # averaging NaN into the epoch loss.
+                    self.history.nonfinite_batches.append((epoch, batch_index))
+                    continue
                 loss.backward()
-                epoch_norm += clip_grad_norm(self.model.parameters(),
-                                             self.config.grad_clip)
+                norm = clip_grad_norm(self.model.parameters(),
+                                      self.config.grad_clip)
+                if not np.isfinite(norm):
+                    # Finite loss but exploded/NaN gradients (e.g. an
+                    # injected nan_grad fault downstream of the loss).
+                    self.history.nonfinite_batches.append((epoch, batch_index))
+                    continue
                 optimizer.step()
-                epoch_loss += float(loss.data)
+                epoch_loss += loss_value
+                epoch_norm += norm
                 batches += 1
             self.history.epoch_losses.append(epoch_loss / max(batches, 1))
             self.history.grad_norms.append(epoch_norm / max(batches, 1))
+            if epoch_hook is not None:
+                rewind_to = epoch_hook(self, optimizer, epoch + 1)
+                if rewind_to is not None:
+                    epoch = int(rewind_to)
+                    continue
             if checkpointer is not None:
                 checkpointer.after_epoch(self, optimizer, epoch + 1)
+            epoch += 1
         self.model.eval()
         return self
 

@@ -23,6 +23,7 @@ from repro.nn.modules.base import Module
 __all__ = [
     "SerializationError",
     "atomic_replace",
+    "fsync_directory",
     "save_state",
     "load_state",
     "save_module",
@@ -32,6 +33,26 @@ __all__ = [
 
 class SerializationError(RuntimeError):
     """A state archive is missing, truncated, or otherwise unreadable."""
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table to disk (best effort).
+
+    ``os.replace`` makes the *content* swap atomic, but the new directory
+    entry itself only survives a power cut once the directory inode is
+    synced.  No-ops on platforms/filesystems that cannot fsync a
+    directory handle.
+    """
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
 
 
 def atomic_replace(path: str | Path, data: bytes) -> Path:
@@ -51,6 +72,7 @@ def atomic_replace(path: str | Path, data: bytes) -> Path:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -71,6 +93,7 @@ def save_state(state: Dict[str, np.ndarray], path: str | Path) -> None:
     try:
         np.savez(tmp_name, **state)
         os.replace(tmp_name, path)
+        fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -20,6 +20,13 @@ needs:
     live streaming-state snapshots (restart without recalibration).
 ``repro.runtime.faults``
     Deterministic, seeded fault injection driving the chaos test suite.
+``repro.runtime.divergence``
+    :class:`DivergenceGuard` — NaN/Inf and robust loss-spike detection
+    with rewind-to-last-good-checkpoint recovery during training.
+``repro.runtime.orchestrator``
+    :class:`FleetOrchestrator` — multiprocess fleet training with
+    per-task timeouts, retry + backoff, crash resume, and a structured
+    :class:`FleetReport` instead of fail-fast aborts.
 """
 
 from repro.runtime.checkpoint import (
@@ -32,7 +39,19 @@ from repro.runtime.checkpoint import (
     save_streaming_state,
     save_training_checkpoint,
 )
-from repro.runtime.faults import FaultInjector, FaultyDetector, InjectedFault
+from repro.runtime.divergence import (
+    DivergenceError,
+    DivergenceEvent,
+    DivergenceGuard,
+    robust_spike_threshold,
+)
+from repro.runtime.faults import (
+    WORKER_FAULT_KINDS,
+    FaultInjector,
+    FaultyDetector,
+    InjectedFault,
+    WorkerFault,
+)
 from repro.runtime.health import (
     BreakerConfig,
     HealthState,
@@ -42,6 +61,17 @@ from repro.runtime.sanitize import (
     SanitizationReport,
     Sanitizer,
     SanitizerConfig,
+)
+from repro.runtime.orchestrator import (
+    AttemptRecord,
+    FleetConfig,
+    FleetJob,
+    FleetOrchestrator,
+    FleetReport,
+    GroupResult,
+    JobStatus,
+    derive_group_seed,
+    train_fleet,
 )
 from repro.runtime.serving import ServingRuntime, SpectralFallbackScorer
 
@@ -53,4 +83,10 @@ __all__ = [
     "save_training_checkpoint", "load_training_checkpoint", "restore_trainer",
     "save_streaming_state", "load_streaming_state",
     "FaultInjector", "FaultyDetector", "InjectedFault",
+    "WorkerFault", "WORKER_FAULT_KINDS",
+    "DivergenceGuard", "DivergenceError", "DivergenceEvent",
+    "robust_spike_threshold",
+    "FleetOrchestrator", "FleetConfig", "FleetJob", "FleetReport",
+    "GroupResult", "AttemptRecord", "JobStatus", "derive_group_seed",
+    "train_fleet",
 ]

@@ -23,13 +23,14 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.serialization import (
     SerializationError,
     atomic_replace,
+    fsync_directory,
     load_state,
     save_state,
 )
@@ -65,6 +66,7 @@ class TrainingCheckpoint:
     rng_state: dict
     epoch_losses: List[float]
     grad_norms: List[float]
+    nonfinite_batches: List[Tuple[int, int]]
     config: dict
 
 
@@ -77,6 +79,8 @@ def save_training_checkpoint(path: str | Path, trainer, optimizer,
         "rng_state": trainer.rng.bit_generator.state,
         "epoch_losses": list(trainer.history.epoch_losses),
         "grad_norms": list(trainer.history.grad_norms),
+        "nonfinite_batches": [list(event)
+                              for event in trainer.history.nonfinite_batches],
         "config": dataclasses.asdict(trainer.config),
     }
     payload: Dict[str, np.ndarray] = {"meta": np.array(json.dumps(meta))}
@@ -128,6 +132,8 @@ def load_training_checkpoint(path: str | Path) -> TrainingCheckpoint:
         rng_state=meta["rng_state"],
         epoch_losses=[float(x) for x in meta["epoch_losses"]],
         grad_norms=[float(x) for x in meta["grad_norms"]],
+        nonfinite_batches=[(int(e), int(b))
+                           for e, b in meta.get("nonfinite_batches", [])],
         config=meta["config"],
     )
 
@@ -163,6 +169,7 @@ def restore_trainer(trainer, optimizer, path: str | Path) -> int:
     trainer.rng.bit_generator.state = checkpoint.rng_state
     trainer.history.epoch_losses = list(checkpoint.epoch_losses)
     trainer.history.grad_norms = list(checkpoint.grad_norms)
+    trainer.history.nonfinite_batches = list(checkpoint.nonfinite_batches)
     return checkpoint.epoch
 
 
@@ -171,12 +178,21 @@ class Checkpointer:
 
     Pass an instance as ``fit(..., checkpointer=...)``; every ``every``
     completed epochs it writes ``ckpt-epoch####.npz`` into ``directory``
-    (atomically) and prunes all but the ``keep`` newest snapshots.
+    (atomically, with the directory fsynced after the rename so the entry
+    itself survives a power cut) and prunes all but the ``keep`` newest
+    snapshots — rewind can therefore never land on a half-written file or
+    an unboundedly growing snapshot set.
+
+    With ``snapshot_initial=True`` the pristine pre-training state is also
+    written (as ``ckpt-epoch0000.npz``) before the first epoch, so a
+    :class:`~repro.runtime.divergence.DivergenceGuard` always has an
+    anchor to rewind to even when epoch 1 itself diverges.
     """
 
     _PATTERN = re.compile(r"ckpt-epoch(\d+)\.npz$")
 
-    def __init__(self, directory: str | Path, every: int = 1, keep: int = 2):
+    def __init__(self, directory: str | Path, every: int = 1, keep: int = 2,
+                 snapshot_initial: bool = False):
         if every < 1:
             raise ValueError("every must be >= 1")
         if keep < 1:
@@ -184,16 +200,27 @@ class Checkpointer:
         self.directory = Path(directory)
         self.every = every
         self.keep = keep
+        self.snapshot_initial = snapshot_initial
         self.saved: List[Path] = []
+
+    def on_fit_start(self, trainer, optimizer) -> Optional[Path]:
+        """Hook called by the trainer once before the first epoch."""
+        if not self.snapshot_initial:
+            return None
+        return self._save(trainer, optimizer, 0)
 
     def after_epoch(self, trainer, optimizer, epoch: int) -> Optional[Path]:
         """Hook called by the trainer after each completed epoch."""
         if epoch % self.every and epoch != trainer.config.epochs:
             return None
+        return self._save(trainer, optimizer, epoch)
+
+    def _save(self, trainer, optimizer, epoch: int) -> Path:
         path = self.directory / f"ckpt-epoch{epoch:04d}.npz"
         save_training_checkpoint(path, trainer, optimizer, epoch)
         self.saved.append(path)
         self._prune()
+        fsync_directory(self.directory)
         return path
 
     def latest(self) -> Optional[Path]:

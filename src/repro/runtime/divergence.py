@@ -1,0 +1,163 @@
+"""Divergence detection and checkpoint rewind for training runs.
+
+A frequency-domain reconstruction model trained on noisy channels can
+diverge in two ways production actually sees: a poisoned batch drives the
+loss (or gradients) to NaN/Inf, or an unlucky step kicks the loss far
+above its running regime.  :class:`DivergenceGuard` plugs into
+``MaceTrainer.fit(..., epoch_hook=guard)`` and, at each epoch boundary:
+
+1. flags the epoch as *diverged* when its loss is non-finite, when any of
+   its batches recorded a non-finite loss/gradient event (see
+   ``TrainingHistory.nonfinite_batches``), or when the loss spikes beyond
+   a robust median/MAD threshold over the previous epochs;
+2. rewinds to the last good checkpoint — diverged epochs are never
+   checkpointed, so the snapshot set only ever holds good states — and
+   resumes from there;
+3. escalates: the **first** rewind of a run replays verbatim (the
+   transient-fault assumption — an injected NaN batch does not recur, so
+   the replay is bitwise identical to a fault-free run), every further
+   rewind also multiplies the learning rate by ``lr_factor`` (default:
+   halves it) to damp a genuinely unstable trajectory, and after
+   ``max_rewinds`` rewinds the run is abandoned with
+   :class:`DivergenceError` so the orchestrator can mark the group FAILED
+   without taking its siblings down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.checkpoint import Checkpointer, restore_trainer
+
+__all__ = [
+    "DivergenceError",
+    "DivergenceEvent",
+    "DivergenceGuard",
+    "robust_spike_threshold",
+]
+
+
+class DivergenceError(RuntimeError):
+    """Training kept diverging after the allowed number of rewinds."""
+
+
+@dataclass(frozen=True)
+class DivergenceEvent:
+    """One detected divergence and the rewind that answered it."""
+
+    epoch: int              # the diverged epoch (count of completed epochs)
+    reason: str             # "non-finite" | "spike"
+    loss: float             # the offending epoch loss
+    threshold: Optional[float]  # spike threshold, None for non-finite
+    rewound_to: int         # epoch the run was rewound to
+    lr: float               # learning rate in effect after the rewind
+
+
+def robust_spike_threshold(losses, mads: float = 10.0,
+                           min_history: int = 3) -> Optional[float]:
+    """Median/MAD upper bound for the next epoch loss, or ``None``.
+
+    Returns ``None`` while fewer than ``min_history`` reference losses
+    exist (early epochs legitimately move fast).  The MAD is floored at a
+    small fraction of the median's magnitude so a perfectly flat loss
+    history does not turn numerical noise into a "spike".
+    """
+    finite = [loss for loss in losses if math.isfinite(loss)]
+    if len(finite) < min_history:
+        return None
+    ordered = sorted(finite)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    deviations = sorted(abs(loss - median) for loss in finite)
+    if len(deviations) % 2:
+        mad = deviations[mid]
+    else:
+        mad = 0.5 * (deviations[mid - 1] + deviations[mid])
+    # 1.4826 scales MAD to a Gaussian sigma; the floor keeps a flat
+    # history from flagging any movement at all.
+    sigma = max(1.4826 * mad, 1e-3 * max(abs(median), 1e-12))
+    return median + mads * sigma
+
+
+class DivergenceGuard:
+    """Epoch hook that rewinds a diverging ``MaceTrainer.fit`` run.
+
+    Parameters
+    ----------
+    checkpointer:
+        The same :class:`~repro.runtime.Checkpointer` passed to ``fit``;
+        its newest snapshot is the rewind target.  Use
+        ``snapshot_initial=True`` so a divergence in the very first epoch
+        still has an anchor.
+    max_rewinds:
+        Rewinds allowed per run before :class:`DivergenceError`.
+    lr_factor:
+        Learning-rate multiplier applied on every rewind after the first.
+    spike_mads:
+        Robust z-score (in MAD-sigmas above the median) beyond which an
+        epoch loss counts as a spike.
+    min_history:
+        Epochs of loss history required before spike detection engages.
+    """
+
+    def __init__(self, checkpointer: Checkpointer, max_rewinds: int = 3,
+                 lr_factor: float = 0.5, spike_mads: float = 10.0,
+                 min_history: int = 3):
+        if max_rewinds < 1:
+            raise ValueError("max_rewinds must be >= 1")
+        if not 0.0 < lr_factor <= 1.0:
+            raise ValueError("lr_factor must be in (0, 1]")
+        self.checkpointer = checkpointer
+        self.max_rewinds = max_rewinds
+        self.lr_factor = lr_factor
+        self.spike_mads = spike_mads
+        self.min_history = min_history
+        self.rewinds = 0
+        self.events: List[DivergenceEvent] = []
+
+    def __call__(self, trainer, optimizer, epoch: int) -> Optional[int]:
+        """``MaceTrainer.fit`` epoch hook; returns the rewind epoch."""
+        loss = trainer.history.epoch_losses[-1]
+        verdict = self._diagnose(trainer, epoch, loss)
+        if verdict is None:
+            return None
+        reason, threshold = verdict
+        self.rewinds += 1
+        if self.rewinds > self.max_rewinds:
+            raise DivergenceError(
+                f"epoch {epoch} diverged ({reason}, loss={loss:g}) after "
+                f"{self.max_rewinds} rewind(s); abandoning the run"
+            )
+        anchor = self.checkpointer.latest()
+        if anchor is None:
+            raise DivergenceError(
+                f"epoch {epoch} diverged ({reason}) but no checkpoint "
+                "exists to rewind to; enable snapshot_initial"
+            )
+        rewound_to = restore_trainer(trainer, optimizer, anchor)
+        if self.rewinds > 1:
+            optimizer.lr *= self.lr_factor
+        self.events.append(DivergenceEvent(
+            epoch=epoch, reason=reason, loss=loss, threshold=threshold,
+            rewound_to=rewound_to, lr=optimizer.lr,
+        ))
+        return rewound_to
+
+    def _diagnose(self, trainer, epoch: int, loss: float):
+        """Classify the just-completed epoch; ``None`` means healthy."""
+        if not math.isfinite(loss):
+            return "non-finite", None
+        if trainer.history.nonfinite_in_epoch(epoch - 1):
+            return "non-finite", None
+        threshold = robust_spike_threshold(
+            trainer.history.epoch_losses[:-1], mads=self.spike_mads,
+            min_history=self.min_history,
+        )
+        if threshold is not None and loss > threshold:
+            return "spike", threshold
+        return None

@@ -12,22 +12,58 @@ production actually sees:
   a configurable rate;
 * **storage faults** — :meth:`FaultInjector.truncate_file` chops the tail
   off a checkpoint/weights file, simulating a crash mid-write on a
-  non-atomic filesystem.
+  non-atomic filesystem;
+* **worker faults** — :meth:`FaultInjector.plan_worker_faults` draws a
+  deterministic schedule of training-worker failures (``worker_kill``,
+  ``worker_hang``, ``nan_grad``) that the
+  :class:`~repro.runtime.orchestrator.FleetOrchestrator` executes inside
+  its worker processes.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.detector import AnomalyDetector
 
-__all__ = ["InjectedFault", "FaultInjector", "FaultyDetector"]
+__all__ = ["InjectedFault", "FaultInjector", "FaultyDetector",
+           "WorkerFault", "WORKER_FAULT_KINDS"]
 
 _CORRUPTION_KINDS = ("nan", "inf", "spike", "drop")
+
+WORKER_FAULT_KINDS = ("worker_kill", "worker_hang", "nan_grad")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled worker-level training fault.
+
+    ``worker_kill`` hard-exits the worker process at the ``epoch``
+    boundary (SIGKILL semantics: no cleanup, no result file);
+    ``worker_hang`` blocks there until the orchestrator's per-task timeout
+    re-dispatches the job; ``nan_grad`` poisons the loss of batch
+    ``batch`` of ``epoch`` so every gradient turns NaN.  ``repeat=False``
+    models a transient fault (fires on the first attempt / first pass
+    only); ``repeat=True`` models a persistent one that eventually drives
+    the group to FAILED.
+    """
+
+    kind: str
+    epoch: int = 1
+    batch: int = 0
+    repeat: bool = False
+
+    def __post_init__(self):
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"expected one of {WORKER_FAULT_KINDS}"
+            )
 
 
 class InjectedFault(RuntimeError):
@@ -81,6 +117,7 @@ class FaultInjector:
         self._rng = np.random.default_rng(seed)
         self.observations_corrupted = 0
         self.scoring_faults = 0
+        self.worker_faults_planned = 0
 
     # ------------------------------------------------------------------
     # Observation faults
@@ -123,6 +160,50 @@ class FaultInjector:
     def wrap_detector(self, detector: AnomalyDetector) -> "FaultyDetector":
         """Wrap a fitted detector so its scoring path injects faults."""
         return FaultyDetector(detector, self)
+
+    # ------------------------------------------------------------------
+    # Worker faults (training orchestrator)
+    # ------------------------------------------------------------------
+    def plan_worker_faults(self, group_ids: Sequence[str],
+                           fault_rate: float, epochs: int,
+                           kinds: Sequence[str] = WORKER_FAULT_KINDS,
+                           repeat: bool = False) -> Dict[str, WorkerFault]:
+        """Draw a deterministic fault schedule for a fleet training run.
+
+        Each group in ``group_ids`` (order matters — it is part of the
+        seeded draw) is assigned a :class:`WorkerFault` with probability
+        ``fault_rate``.  Fault epochs are drawn in ``[1, epochs)`` when
+        possible so a checkpoint exists before the fault fires; with
+        ``epochs == 1`` they land on epoch 1 / batch 0.
+        """
+        unknown = sorted(set(kinds) - set(WORKER_FAULT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown worker fault kinds: {unknown}")
+        if not kinds:
+            raise ValueError("need at least one worker fault kind")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        plan: Dict[str, WorkerFault] = {}
+        for group_id in group_ids:
+            if self._rng.random() >= fault_rate:
+                continue
+            kind = kinds[int(self._rng.integers(len(kinds)))]
+            if kind == "nan_grad":
+                # Batch-level fault: epoch in [0, epochs) (0-based loop
+                # epoch), batch 0 — every group has at least one batch.
+                epoch = int(self._rng.integers(epochs))
+                fault = WorkerFault(kind, epoch=epoch, batch=0,
+                                    repeat=repeat)
+            else:
+                # Epoch-boundary fault: fires after `epoch` completed
+                # epochs, i.e. in [1, epochs].
+                epoch = 1 + int(self._rng.integers(epochs))
+                fault = WorkerFault(kind, epoch=epoch, repeat=repeat)
+            plan[group_id] = fault
+            self.worker_faults_planned += 1
+        return plan
 
     # ------------------------------------------------------------------
     # Storage faults

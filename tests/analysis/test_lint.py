@@ -118,6 +118,43 @@ class TestBareExcept:
         assert not lint_source(source, "src/mod.py")
 
 
+class TestBlockingWithoutTimeout:
+    def test_zero_arg_join_fires_in_src(self):
+        source = "import multiprocessing\nworker.join()\n"
+        assert "REP108" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_zero_arg_queue_get_fires(self):
+        source = "import queue\nitem = jobs.get()\n"
+        assert "REP108" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_timeout_argument_passes(self):
+        source = (
+            "import multiprocessing\n"
+            "worker.join(5)\n"
+            "item = jobs.get(timeout=1.0)\n"
+            "ready = connection.wait(sentinels, timeout=0.05)\n"
+        )
+        assert "REP108" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_str_join_with_argument_passes(self):
+        # ''.join(parts) takes an argument, so it is never confused with
+        # a blocking process join.
+        source = "import threading\nline = ','.join(parts)\n"
+        assert "REP108" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_no_concurrency_import_passes(self):
+        source = "worker.join()\nitem = jobs.get()\n"
+        assert "REP108" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = "import multiprocessing\nworker.join()\n"
+        assert "REP108" not in _codes(lint_source(source, "tests/test_x.py"))
+
+    def test_noqa_suppresses(self):
+        source = "import multiprocessing\nworker.join()  # noqa: REP108\n"
+        assert not lint_source(source, "src/mod.py")
+
+
 class TestNoqa:
     def test_matching_code_suppresses(self):
         source = "import numpy as np\nx = np.random.rand()  # noqa: REP101\n"

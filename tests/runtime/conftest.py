@@ -30,3 +30,42 @@ def fitted_detector(runtime_dataset):
     detector = MaceDetector(fast_config())
     return detector.fit([s.service_id for s in runtime_dataset],
                         [s.train for s in runtime_dataset])
+
+
+# ----------------------------------------------------------------------
+# Fleet-training fixtures: many small groups, very short fits, so a test
+# can afford several whole fleet runs (including retries) on one core.
+# ----------------------------------------------------------------------
+def fleet_config(**overrides):
+    defaults = dict(window=40, num_bases=4, channels=2, epochs=3,
+                    train_stride=16, gamma_time=3, gamma_freq=3,
+                    kernel_freq=4, kernel_time=3, subspace_stride=8,
+                    batch_size=32)
+    defaults.update(overrides)
+    return MaceConfig(**defaults)
+
+
+def make_fleet_jobs(dataset, group_size=2):
+    from repro.runtime import FleetJob
+
+    services = list(dataset)
+    jobs = []
+    for index in range(0, len(services), group_size):
+        group = services[index:index + group_size]
+        jobs.append(FleetJob(
+            f"group{index // group_size}",
+            tuple(s.service_id for s in group),
+            tuple(s.train for s in group),
+        ))
+    return jobs
+
+
+@pytest.fixture(scope="session")
+def fleet_dataset():
+    return load_dataset("smd", num_services=6, train_length=160,
+                        test_length=64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fleet_jobs(fleet_dataset):
+    return make_fleet_jobs(fleet_dataset)

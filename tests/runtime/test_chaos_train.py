@@ -1,0 +1,157 @@
+"""Worker-fault chaos suite for the fleet training orchestrator.
+
+Acceptance gate (`make chaos-train`): with seeded ``worker_kill`` /
+``worker_hang`` / ``nan_grad`` faults injected on >= 30% of the fleet's
+jobs, the run must complete, every recovered (non-FAILED) group's final
+state dict must be bitwise-identical to the fault-free baseline, and
+groups that exhaust their budget must be *reported* FAILED in the
+``FleetReport`` — never raised as an abort of their siblings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    WORKER_FAULT_KINDS,
+    FaultInjector,
+    FleetConfig,
+    JobStatus,
+    WorkerFault,
+    train_fleet,
+)
+from tests.runtime.conftest import fleet_config
+
+# Hangs are ended by the per-attempt deadline, so the chaos fleet runs
+# with a short timeout; healthy tiny fits finish in well under a second.
+CHAOS_FLEET = dict(timeout=6.0, backoff_base=0.01, backoff_cap=0.05,
+                   max_attempts=4)
+
+
+@pytest.fixture(scope="module")
+def baseline(fleet_jobs, tmp_path_factory):
+    """Fault-free reference run (workers=2, same fleet seed)."""
+    directory = tmp_path_factory.mktemp("chaos-baseline")
+    report = train_fleet(fleet_jobs, fleet_config(), directory,
+                         FleetConfig(workers=2, **CHAOS_FLEET))
+    assert report.failed == []
+    return report
+
+
+def _assert_matches_baseline(baseline, report, group_id):
+    expected = baseline.state_dict(group_id)
+    actual = report.state_dict(group_id)
+    assert set(actual) == set(expected)
+    for name in expected:
+        np.testing.assert_array_equal(actual[name], expected[name],
+                                      err_msg=f"{group_id}:{name}")
+
+
+class TestChaosFleet:
+    @pytest.mark.parametrize("chaos_seed", [0, 1, 2])
+    def test_seeded_fault_matrix_recovers_bitwise(self, fleet_jobs, baseline,
+                                                  tmp_path, chaos_seed):
+        """The headline drill: transient seeded faults on every group
+        (rate 1.0 >= the 30% floor), full recovery, bitwise equality."""
+        injector = FaultInjector(seed=chaos_seed)
+        epochs = fleet_config().epochs
+        faults = injector.plan_worker_faults(
+            [job.group_id for job in fleet_jobs], fault_rate=1.0,
+            epochs=epochs,
+        )
+        assert len(faults) == len(fleet_jobs)
+        assert injector.worker_faults_planned == len(fleet_jobs)
+
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=2, **CHAOS_FLEET),
+                             faults=faults)
+        assert report.failed == []
+        for job in fleet_jobs:
+            group = report.group(job.group_id)
+            assert group.status is JobStatus.DONE
+            _assert_matches_baseline(baseline, report, job.group_id)
+        # The faults actually fired: at least one group needed a second
+        # attempt or a rewind (a no-op chaos run would prove nothing).
+        disturbed = sum(len(g.attempts) > 1 or g.rewinds > 0
+                        for g in report.groups)
+        assert disturbed >= 1
+
+    def test_every_fault_kind_explicitly(self, fleet_jobs, baseline,
+                                         tmp_path):
+        """One of each kind across the three groups — 100% injection."""
+        faults = {
+            "group0": WorkerFault("worker_kill", epoch=2),
+            "group1": WorkerFault("worker_hang", epoch=1),
+            "group2": WorkerFault("nan_grad", epoch=1, batch=0),
+        }
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=3, timeout=3.0,
+                                         backoff_base=0.01,
+                                         backoff_cap=0.05, max_attempts=3),
+                             faults=faults)
+        assert report.failed == []
+        outcomes = {g.group_id: [a.outcome for a in g.attempts]
+                    for g in report.groups}
+        assert outcomes["group0"] == ["crash", "done"]
+        assert outcomes["group1"] == ["timeout", "done"]
+        assert outcomes["group2"] == ["done"]
+        assert report.group("group2").rewinds == 1
+        for job in fleet_jobs:
+            _assert_matches_baseline(baseline, report, job.group_id)
+
+    def test_failed_group_reported_amid_chaos(self, fleet_jobs, baseline,
+                                              tmp_path):
+        """A persistent fault exhausts one group; the others still finish
+        bitwise-clean and the failure is data in the report."""
+        faults = {
+            "group0": WorkerFault("nan_grad", epoch=1, batch=0, repeat=True),
+            "group1": WorkerFault("worker_kill", epoch=2),
+        }
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=2, max_rewinds=2,
+                                         **CHAOS_FLEET),
+                             faults=faults)
+        failed = report.group("group0")
+        assert failed.status is JobStatus.FAILED
+        assert failed.attempts[-1].outcome == "diverged"
+        assert "diverged" in failed.error
+        # Two rewinds were spent, then a third divergence abandoned the
+        # run — the counter tallies divergences, so it reads 3.
+        assert failed.rewinds == 3
+        for group_id in ("group1", "group2"):
+            assert report.group(group_id).status is JobStatus.DONE
+            _assert_matches_baseline(baseline, report, group_id)
+
+
+class TestFaultPlanning:
+    def test_plan_is_deterministic(self, fleet_jobs):
+        ids = [job.group_id for job in fleet_jobs]
+        plan_a = FaultInjector(seed=3).plan_worker_faults(ids, 0.5, 3)
+        plan_b = FaultInjector(seed=3).plan_worker_faults(ids, 0.5, 3)
+        assert plan_a == plan_b
+
+    def test_plan_respects_rate_bounds(self, fleet_jobs):
+        ids = [job.group_id for job in fleet_jobs]
+        assert FaultInjector(seed=0).plan_worker_faults(ids, 0.0, 3) == {}
+        full = FaultInjector(seed=0).plan_worker_faults(ids, 1.0, 3)
+        assert set(full) == set(ids)
+        for fault in full.values():
+            assert fault.kind in WORKER_FAULT_KINDS
+            if fault.kind == "nan_grad":
+                assert 0 <= fault.epoch < 3
+            else:
+                assert 1 <= fault.epoch <= 3
+
+    def test_plan_validates_arguments(self):
+        injector = FaultInjector(seed=0)
+        with pytest.raises(ValueError, match="unknown worker fault"):
+            injector.plan_worker_faults(["g"], 0.5, 3, kinds=("bogus",))
+        with pytest.raises(ValueError, match="fault_rate"):
+            injector.plan_worker_faults(["g"], 1.5, 3)
+        with pytest.raises(ValueError, match="epochs"):
+            injector.plan_worker_faults(["g"], 0.5, 0)
+        with pytest.raises(ValueError, match="at least one"):
+            injector.plan_worker_faults(["g"], 0.5, 3, kinds=())
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown worker fault kind"):
+            WorkerFault("segfault")

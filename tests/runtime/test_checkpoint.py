@@ -105,6 +105,19 @@ class TestCheckpointFiles:
         names = [p.name for p in checkpointer.existing()]
         assert names == ["ckpt-epoch0002.npz", "ckpt-epoch0003.npz"]
 
+    def test_initial_snapshot_written_and_prunable(self, runtime_dataset,
+                                                   tmp_path):
+        ids, trains = _fit_args(runtime_dataset)
+        checkpointer = Checkpointer(tmp_path, every=1, keep=10,
+                                    snapshot_initial=True)
+        MaceTrainer(fast_config(epochs=2)).fit(ids, trains,
+                                               checkpointer=checkpointer)
+        names = [p.name for p in checkpointer.existing()]
+        # The epoch-0 snapshot is a rewind anchor for first-epoch
+        # divergence, and is pruned like any other checkpoint.
+        assert names == ["ckpt-epoch0000.npz", "ckpt-epoch0001.npz",
+                         "ckpt-epoch0002.npz"]
+
     def test_no_temp_files_left_behind(self, runtime_dataset, tmp_path):
         self._one_checkpoint(runtime_dataset, tmp_path)
         leftovers = [p.name for p in tmp_path.iterdir()

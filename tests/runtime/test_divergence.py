@@ -1,0 +1,215 @@
+"""Divergence guard: detection, rewind, LR escalation, and the trainer's
+non-finite-batch bugfix (skip the step, record the event)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaceTrainer
+from repro.runtime import (
+    Checkpointer,
+    DivergenceError,
+    DivergenceGuard,
+    robust_spike_threshold,
+)
+from tests.runtime.conftest import fleet_config
+
+
+def _fit_args(dataset):
+    services = list(dataset)[:2]
+    return ([s.service_id for s in services],
+            [s.train for s in services])
+
+
+def _nan_once(epoch, batch):
+    """Batch hook poisoning one (epoch, batch) loss exactly once."""
+    fired = []
+
+    def hook(e, b, loss):
+        if (e, b) == (epoch, batch) and not fired:
+            fired.append(True)
+            return loss * float("nan")
+        return None
+
+    return hook
+
+
+class TestRobustSpikeThreshold:
+    def test_needs_min_history(self):
+        assert robust_spike_threshold([1.0, 1.1], min_history=3) is None
+
+    def test_threshold_above_median(self):
+        threshold = robust_spike_threshold([1.0, 1.1, 0.9, 1.05], mads=10.0)
+        assert threshold > 1.025
+
+    def test_tolerates_nonfinite_history(self):
+        threshold = robust_spike_threshold(
+            [1.0, float("nan"), 1.1, 0.9, float("inf")], min_history=3)
+        assert threshold is not None and np.isfinite(threshold)
+
+    def test_flat_history_does_not_flag_noise(self):
+        threshold = robust_spike_threshold([2.0, 2.0, 2.0, 2.0], mads=10.0)
+        assert threshold > 2.0  # MAD floor keeps epsilon moves below it
+
+
+class TestNonFiniteBatchBugfix:
+    """Satellite regression: a NaN batch loss must not reach the weights."""
+
+    def test_step_skipped_and_event_recorded(self, fleet_dataset):
+        ids, trains = _fit_args(fleet_dataset)
+        trainer = MaceTrainer(fleet_config(epochs=2))
+        trainer.fit(ids, trains, batch_hook=_nan_once(0, 0))
+        assert trainer.history.nonfinite_batches == [(0, 0)]
+        assert trainer.history.nonfinite_in_epoch(0) == 1
+        assert trainer.history.nonfinite_in_epoch(1) == 0
+        # The poisoned batch contributed nothing: every weight is finite
+        # and the epoch averages are finite too.
+        for name, value in trainer.model.state_dict().items():
+            assert np.all(np.isfinite(value)), name
+        assert np.all(np.isfinite(trainer.history.epoch_losses))
+
+    def test_unguarded_run_survives_but_differs(self, fleet_dataset):
+        """Without a guard, fit completes (the step is skipped) but the
+        trajectory differs from clean — which is why the guard rewinds."""
+        ids, trains = _fit_args(fleet_dataset)
+        clean = MaceTrainer(fleet_config(epochs=2)).fit(ids, trains)
+        poisoned = MaceTrainer(fleet_config(epochs=2))
+        poisoned.fit(ids, trains, batch_hook=_nan_once(0, 0))
+        diffs = [not np.array_equal(a, b) for (_, a), (__, b) in zip(
+            sorted(clean.model.state_dict().items()),
+            sorted(poisoned.model.state_dict().items()))]
+        assert any(diffs)
+
+    def test_nonfinite_events_survive_checkpoint_roundtrip(
+            self, fleet_dataset, tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, keep=5)
+        trainer = MaceTrainer(fleet_config(epochs=2))
+        trainer.fit(ids, trains, checkpointer=checkpointer,
+                    batch_hook=_nan_once(1, 0))
+        resumed = MaceTrainer(fleet_config(epochs=2))
+        resumed.fit(ids, trains, resume=checkpointer.latest())
+        assert resumed.history.nonfinite_batches == [(1, 0)]
+
+
+class TestGuardRewind:
+    def test_nan_batch_rewound_to_bitwise_clean_state(self, fleet_dataset,
+                                                      tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        clean = MaceTrainer(fleet_config()).fit(ids, trains)
+
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=True, keep=5)
+        guard = DivergenceGuard(checkpointer, max_rewinds=3)
+        guarded = MaceTrainer(fleet_config())
+        guarded.fit(ids, trains, checkpointer=checkpointer,
+                    epoch_hook=guard, batch_hook=_nan_once(1, 0))
+
+        assert guard.rewinds == 1
+        event = guard.events[0]
+        assert event.reason == "non-finite"
+        assert event.epoch == 2 and event.rewound_to == 1
+        expected = clean.model.state_dict()
+        actual = guarded.model.state_dict()
+        for name in expected:
+            np.testing.assert_array_equal(actual[name], expected[name],
+                                          err_msg=name)
+        # The rewound history matches the clean run: the divergence left
+        # no trace in the trajectory, only in the guard's event log.
+        assert guarded.history.epoch_losses == clean.history.epoch_losses
+        assert guarded.history.nonfinite_batches == []
+
+    def test_first_epoch_divergence_uses_initial_snapshot(self, fleet_dataset,
+                                                          tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=True, keep=5)
+        guard = DivergenceGuard(checkpointer)
+        trainer = MaceTrainer(fleet_config())
+        trainer.fit(ids, trains, checkpointer=checkpointer,
+                    epoch_hook=guard, batch_hook=_nan_once(0, 0))
+        assert guard.rewinds == 1
+        assert guard.events[0].rewound_to == 0
+        clean = MaceTrainer(fleet_config()).fit(ids, trains)
+        expected = clean.model.state_dict()
+        actual = trainer.model.state_dict()
+        for name in expected:
+            np.testing.assert_array_equal(actual[name], expected[name],
+                                          err_msg=name)
+
+    def test_rewind_without_anchor_raises(self, fleet_dataset, tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=False, keep=5)
+        guard = DivergenceGuard(checkpointer)
+        trainer = MaceTrainer(fleet_config())
+        with pytest.raises(DivergenceError, match="no checkpoint"):
+            trainer.fit(ids, trains, checkpointer=checkpointer,
+                        epoch_hook=guard, batch_hook=_nan_once(0, 0))
+
+    def test_persistent_divergence_escalates_to_error(self, fleet_dataset,
+                                                      tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=True, keep=5)
+        guard = DivergenceGuard(checkpointer, max_rewinds=2)
+
+        def always_nan(epoch, batch, loss):
+            if epoch == 1 and batch == 0:
+                return loss * float("nan")
+            return None
+
+        trainer = MaceTrainer(fleet_config())
+        with pytest.raises(DivergenceError, match="after 2 rewind"):
+            trainer.fit(ids, trains, checkpointer=checkpointer,
+                        epoch_hook=guard, batch_hook=always_nan)
+        assert guard.rewinds == 3  # two rewinds + the abandoning attempt
+
+    def test_repeat_rewinds_halve_learning_rate(self, fleet_dataset,
+                                                tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=True, keep=5)
+        guard = DivergenceGuard(checkpointer, max_rewinds=3, lr_factor=0.5)
+
+        fired = []
+
+        def nan_twice(epoch, batch, loss):
+            if epoch == 1 and batch == 0 and len(fired) < 2:
+                fired.append(True)
+                return loss * float("nan")
+            return None
+
+        trainer = MaceTrainer(fleet_config())
+        trainer.fit(ids, trains, checkpointer=checkpointer,
+                    epoch_hook=guard, batch_hook=nan_twice)
+        assert guard.rewinds == 2
+        base_lr = fleet_config().learning_rate
+        # First rewind replays verbatim; the second halves the LR.
+        assert guard.events[0].lr == pytest.approx(base_lr)
+        assert guard.events[1].lr == pytest.approx(base_lr / 2)
+
+    def test_spike_detection_triggers_rewind(self, fleet_dataset, tmp_path):
+        ids, trains = _fit_args(fleet_dataset)
+        checkpointer = Checkpointer(tmp_path, snapshot_initial=True, keep=8)
+        guard = DivergenceGuard(checkpointer, spike_mads=6.0, min_history=3)
+
+        fired = []
+
+        def spike_once(epoch, batch, loss):
+            # A finite but absurd loss: robust stats must flag it even
+            # though no NaN is involved.
+            if epoch == 4 and batch == 0 and not fired:
+                fired.append(True)
+                return loss * 1e9
+            return None
+
+        trainer = MaceTrainer(fleet_config(epochs=6))
+        trainer.fit(ids, trains, checkpointer=checkpointer,
+                    epoch_hook=guard, batch_hook=spike_once)
+        assert guard.rewinds == 1
+        assert guard.events[0].reason == "spike"
+        assert guard.events[0].threshold is not None
+        clean = MaceTrainer(fleet_config(epochs=6)).fit(ids, trains)
+        assert trainer.history.epoch_losses == clean.history.epoch_losses
+
+    def test_guard_parameter_validation(self, tmp_path):
+        checkpointer = Checkpointer(tmp_path)
+        with pytest.raises(ValueError):
+            DivergenceGuard(checkpointer, max_rewinds=0)
+        with pytest.raises(ValueError):
+            DivergenceGuard(checkpointer, lr_factor=0.0)

@@ -1,0 +1,185 @@
+"""Fleet orchestrator: scheduling, retries, determinism, failure isolation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    FleetConfig,
+    FleetJob,
+    FleetOrchestrator,
+    JobStatus,
+    WorkerFault,
+    derive_group_seed,
+    train_fleet,
+)
+from tests.runtime.conftest import fleet_config
+
+
+FAST_FLEET = dict(timeout=60.0, backoff_base=0.01, backoff_cap=0.05)
+
+
+def _assert_states_equal(report_a, report_b, group_id):
+    state_a = report_a.state_dict(group_id)
+    state_b = report_b.state_dict(group_id)
+    assert set(state_a) == set(state_b)
+    for name in state_a:
+        np.testing.assert_array_equal(state_a[name], state_b[name],
+                                      err_msg=f"{group_id}:{name}")
+
+
+class TestSeedDerivation:
+    def test_stable_and_scheduling_independent(self):
+        assert derive_group_seed(0, "group0") == derive_group_seed(0, "group0")
+
+    def test_distinct_per_group(self):
+        seeds = {derive_group_seed(0, f"group{i}") for i in range(32)}
+        assert len(seeds) == 32
+
+    def test_distinct_per_fleet_seed(self):
+        assert derive_group_seed(0, "group0") != derive_group_seed(1, "group0")
+
+
+class TestFleetJob:
+    def test_misaligned_job_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            FleetJob("g", ("a", "b"), (np.zeros((64, 2)),))
+
+    def test_duplicate_group_ids_rejected(self, fleet_jobs, tmp_path):
+        orchestrator = FleetOrchestrator(tmp_path, fleet_config())
+        with pytest.raises(ValueError, match="duplicate"):
+            orchestrator.run([fleet_jobs[0], fleet_jobs[0]])
+
+
+class TestHealthyFleet:
+    def test_all_groups_done(self, fleet_jobs, tmp_path):
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=2, **FAST_FLEET))
+        assert [g.status for g in report.groups] == [JobStatus.DONE] * 3
+        assert [g.group_id for g in report.groups] == \
+            [job.group_id for job in fleet_jobs]
+        assert report.failed == []
+        for group in report.groups:
+            assert len(group.attempts) == 1
+            assert group.attempts[0].outcome == "done"
+            assert group.epochs == 3
+            assert np.isfinite(group.final_loss)
+            assert group.state_dict()  # final checkpoint is readable
+
+    def test_report_lookup_and_rows(self, fleet_jobs, tmp_path):
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=1, **FAST_FLEET))
+        assert report.group("group1").group_id == "group1"
+        with pytest.raises(KeyError):
+            report.group("nope")
+        rows = report.summary_rows()
+        assert len(rows) == 3
+        assert rows[0][1] == "done"
+
+
+class TestDeterminism:
+    """Satellite: fleet results are a pure function of (fleet_seed, data)."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, fleet_jobs, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("fleet-w1")
+        return train_fleet(fleet_jobs, fleet_config(), directory,
+                           FleetConfig(workers=1, **FAST_FLEET))
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_count_is_bitwise_invisible(self, fleet_jobs, baseline,
+                                               tmp_path, workers):
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=workers, **FAST_FLEET))
+        for job in fleet_jobs:
+            _assert_states_equal(baseline, report, job.group_id)
+
+    def test_resume_after_kill_is_bitwise_identical(self, fleet_jobs,
+                                                    baseline, tmp_path):
+        """A fleet whose workers are killed mid-run matches the clean run."""
+        faults = {job.group_id: WorkerFault("worker_kill", epoch=2)
+                  for job in fleet_jobs}
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=2, **FAST_FLEET),
+                             faults=faults)
+        for job in fleet_jobs:
+            group = report.group(job.group_id)
+            assert group.status is JobStatus.DONE
+            assert [a.outcome for a in group.attempts] == ["crash", "done"]
+            _assert_states_equal(baseline, report, job.group_id)
+
+    def test_group_seeds_recorded_and_derived(self, fleet_jobs, baseline):
+        for group in baseline.groups:
+            assert group.seed == derive_group_seed(0, group.group_id)
+
+
+class TestFailureIsolation:
+    def test_persistent_crash_marks_failed_not_raises(self, fleet_jobs,
+                                                      tmp_path):
+        faults = {"group0": WorkerFault("worker_kill", epoch=1, repeat=True)}
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=2, max_attempts=2,
+                                         **FAST_FLEET),
+                             faults=faults)
+        failed = report.group("group0")
+        assert failed.status is JobStatus.FAILED
+        assert len(failed.attempts) == 2
+        assert all(a.outcome == "crash" for a in failed.attempts)
+        assert "attempt 2/2" in failed.error
+        # Siblings are untouched.
+        for group_id in ("group1", "group2"):
+            assert report.group(group_id).status is JobStatus.DONE
+
+    def test_failed_group_has_no_state(self, fleet_jobs, tmp_path):
+        faults = {"group0": WorkerFault("worker_kill", epoch=1, repeat=True)}
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=1, max_attempts=1,
+                                         **FAST_FLEET),
+                             faults=faults)
+        with pytest.raises(ValueError, match="no final state"):
+            report.state_dict("group0")
+
+
+class TestStragglers:
+    def test_hung_worker_is_redispatched(self, fleet_jobs, tmp_path):
+        faults = {"group1": WorkerFault("worker_hang", epoch=1)}
+        report = train_fleet(
+            fleet_jobs, fleet_config(), tmp_path,
+            FleetConfig(workers=2, timeout=2.0, backoff_base=0.01,
+                        backoff_cap=0.05),
+            faults=faults,
+        )
+        hung = report.group("group1")
+        assert hung.status is JobStatus.DONE
+        assert [a.outcome for a in hung.attempts] == ["timeout", "done"]
+
+    def test_backoff_is_bounded_and_grows(self, tmp_path):
+        orchestrator = FleetOrchestrator(
+            tmp_path, fleet_config(),
+            FleetConfig(backoff_base=0.1, backoff_cap=1.0,
+                        backoff_jitter=0.5),
+        )
+        delays = [orchestrator._backoff(attempt) for attempt in (1, 2, 3, 9)]
+        assert delays[0] >= 0.1
+        assert all(d <= 1.0 * 1.5 for d in delays)
+        assert delays[1] >= delays[0] * 0.9  # grows modulo jitter
+
+
+class TestResumeAcrossAttempts:
+    def test_retry_resumes_from_checkpoint_not_scratch(self, fleet_jobs,
+                                                       tmp_path):
+        """After a kill at epoch 2, the retry starts from the epoch-2
+        anchor: its result reports the full epoch count but the group
+        directory's checkpoints show the resumed trajectory."""
+        faults = {"group0": WorkerFault("worker_kill", epoch=2)}
+        report = train_fleet(fleet_jobs, fleet_config(), tmp_path,
+                             FleetConfig(workers=1, **FAST_FLEET),
+                             faults=faults)
+        group = report.group("group0")
+        assert group.status is JobStatus.DONE
+        assert group.attempts[0].outcome == "crash"
+        assert group.attempts[0].exitcode == 73  # injected hard kill
+        # The kill fired before epoch 2 was checkpointed, so the retry
+        # resumed from epoch 1 — visible as the surviving checkpoints.
+        names = sorted(p.name for p in (tmp_path / "group0").iterdir()
+                       if p.name.startswith("ckpt-"))
+        assert "ckpt-epoch0003.npz" in names
