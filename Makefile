@@ -6,9 +6,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze analyze-baseline test chaos chaos-train check-model help
+.PHONY: check lint analyze analyze-baseline test chaos chaos-train \
+        check-model obs-overhead help
 
-check: lint analyze test chaos chaos-train
+check: lint analyze test chaos chaos-train obs-overhead
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -40,6 +41,12 @@ chaos-train:
 check-model:
 	$(PYTHON) -m repro check-model
 
+# Telemetry overhead gate: the instrumented (tracing-disabled, default)
+# seeded 2-epoch trainer run must stay within 3% of the span-stripped
+# baseline; also refreshes BENCH_obs.json (the perf-trajectory point).
+obs-overhead:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
+
 help:
 	@echo "make check            - lint + analyze + tests + chaos (tier-1 gate)"
 	@echo "make lint             - repo linter (repro.analysis.lint)"
@@ -49,3 +56,4 @@ help:
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
 	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"
 	@echo "make check-model      - static MACE shape/dtype contract check"
+	@echo "make obs-overhead     - telemetry overhead gate (<3% disabled-path cost)"

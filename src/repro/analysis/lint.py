@@ -53,6 +53,13 @@ Rules
     failure mode the fleet orchestrator exists to survive.  Pass an
     explicit timeout and handle expiry.
 
+``REP109`` bare ``print()`` in library code
+    ``print`` in ``src/`` is telemetry that no one can collect, filter or
+    replay.  Route operator-facing output through the structured event
+    log (:mod:`repro.obs.events`) or through the CLI's output helper
+    (``repro.cli._out``); only the CLI layer — whose job *is* printing —
+    carries the ``# noqa: REP109`` escape.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -79,6 +86,8 @@ RULES = {
     "REP106": "mutable default argument (shared across calls)",
     "REP107": "Module subclass overrides forward but defines no contract()",
     "REP108": "blocking concurrency call without an explicit timeout",
+    "REP109": "bare print() in library code (use repro.obs.events or the "
+              "CLI output helper)",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -385,9 +394,26 @@ def _check_blocking_without_timeout(tree: ast.AST, path: str,
         ))
 
 
+def _check_bare_print(tree: ast.AST, path: str, out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP109",
+                "bare print() in library code is telemetry no one can "
+                "collect; emit a structured event (repro.obs.events) or "
+                "route through the CLI output helper",
+            ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
-           _check_forward_without_contract, _check_blocking_without_timeout)
+           _check_forward_without_contract, _check_blocking_without_timeout,
+           _check_bare_print)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
@@ -485,30 +511,30 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         for code, description in sorted(RULES.items()):
-            print(f"{code}: {description}")
+            print(f"{code}: {description}")  # noqa: REP109 - lint's own CLI output
         return 0
 
     if args.select:
         unknown = sorted(set(args.select) - set(RULES))
         if unknown:
-            print(f"unknown rule code(s): {', '.join(unknown)}; "
+            print(f"unknown rule code(s): {', '.join(unknown)}; "  # noqa: REP109 - lint's own CLI output
                   f"available: {', '.join(sorted(RULES))}", file=sys.stderr)
             return 2
 
     paths = args.paths or _default_paths()
     if not paths:
-        print("no lintable paths found", file=sys.stderr)
+        print("no lintable paths found", file=sys.stderr)  # noqa: REP109 - lint's own CLI output
         return 2
     try:
         violations = lint_paths(paths, select=args.select)
     except FileNotFoundError as error:
-        print(str(error), file=sys.stderr)
+        print(str(error), file=sys.stderr)  # noqa: REP109 - lint's own CLI output
         return 2
     for violation in violations:
-        print(violation)
+        print(violation)  # noqa: REP109 - lint's own CLI output
     checked = sum(1 for _ in _iter_python_files(paths))
     status = "clean" if not violations else f"{len(violations)} violation(s)"
-    print(f"linted {checked} file(s) under {' '.join(paths)}: {status}")
+    print(f"linted {checked} file(s) under {' '.join(paths)}: {status}")  # noqa: REP109 - lint's own CLI output
     return 1 if violations else 0
 
 

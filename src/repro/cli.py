@@ -25,6 +25,10 @@ Commands
     Fault-tolerant fleet training: shard per-group unified-model fits
     across a worker pool with timeouts, retry + checkpoint resume, and
     divergence rewind; optionally inject worker-level chaos faults.
+``obs report``
+    Render the telemetry of a run directory (fleet attempt tables, epoch
+    timeline, per-phase span breakdown, top-k autograd ops) from its
+    JSONL artifacts.
 """
 
 from __future__ import annotations
@@ -36,6 +40,16 @@ from typing import List, Sequence
 import numpy as np
 
 __all__ = ["build_parser", "main"]
+
+
+def _out(*values: object, **kwargs: object) -> None:
+    """The CLI's sanctioned stdout/stderr writer.
+
+    Library code must route operator-facing output through
+    :mod:`repro.obs.events` (lint rule REP109); the CLI is the one layer
+    whose job *is* printing.
+    """
+    print(*values, **kwargs)  # noqa: REP109 - the CLI's output helper
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -123,6 +137,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "of groups")
     fleet.add_argument("--chaos-seed", type=int, default=0,
                        help="seed of the fault injector (not the fleet)")
+    fleet.add_argument("--obs", action="store_true",
+                       help="enable worker observability (spans, metrics, "
+                            "events dumped into each group directory; "
+                            "render with `repro obs report`)")
+
+    obs = sub.add_parser(
+        "obs", help="telemetry tooling (see `repro obs report`)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a run directory's JSONL telemetry as tables",
+    )
+    obs_report.add_argument("--dir", dest="directory", required=True,
+                            help="run directory (e.g. a train-fleet --dir)")
+    obs_report.add_argument("--top", type=int, default=10,
+                            help="top-k autograd ops to show (default 10)")
 
     check = sub.add_parser(
         "check-model", help="statically validate MACE shape/dtype contracts"
@@ -164,7 +195,7 @@ def _cmd_list_datasets(_args) -> int:
         rows.append((name, profile.num_services, profile.num_features,
                      f"{profile.anomaly_ratio:.1%}", profile.diversity,
                      "point" if profile.point_heavy else "context"))
-    print(format_table(
+    _out(format_table(
         ("name", "services", "features", "anomaly ratio", "diversity",
          "anomaly type"),
         rows, title="registered dataset profiles",
@@ -185,7 +216,7 @@ def _cmd_detect(args) -> int:
     rows = [(s.service_id, s.metrics.precision, s.metrics.recall,
              s.metrics.f1) for s in result.services]
     rows.append(("AVERAGE", result.precision, result.recall, result.f1))
-    print(format_table(("service", "precision", "recall", "F1"), rows,
+    _out(format_table(("service", "precision", "recall", "F1"), rows,
                        title=f"unified MACE on {args.dataset}"))
     return 0
 
@@ -198,7 +229,7 @@ def _cmd_compare(args) -> int:
 
     unknown = [n for n in args.baselines if n not in ALL_BASELINES]
     if unknown:
-        print(f"unknown baselines: {unknown}; "
+        _out(f"unknown baselines: {unknown}; "
               f"available: {sorted(ALL_BASELINES)}", file=sys.stderr)
         return 2
     dataset = _load(args)
@@ -214,7 +245,7 @@ def _cmd_compare(args) -> int:
             results.append(run_unified(
                 lambda c=cls: c(BaselineConfig(epochs=args.epochs)), groups
             ))
-    print(format_metrics_table(results,
+    _out(format_metrics_table(results,
                                title=f"unified protocol on {args.dataset}"))
     return 0
 
@@ -227,27 +258,27 @@ def _cmd_analyze(args) -> int:
     try:
         report = audit.audit_models(args.models, envelope=args.envelope)
     except ValueError as error:
-        print(str(error), file=sys.stderr)
+        _out(str(error), file=sys.stderr)
         return 2
     if args.update_baseline:
         path = args.baseline or "analysis_baseline.json"
         audit.write_baseline(path, report)
         accepted = audit.load_baseline(path)["accepted_warnings"]
-        print(f"wrote {path} ({len(accepted)} accepted warnings)")
+        _out(f"wrote {path} ({len(accepted)} accepted warnings)")
         return 0
     baseline = None
     if args.baseline:
         try:
             baseline = audit.load_baseline(args.baseline)
         except (OSError, ValueError) as error:
-            print(f"cannot read analyzer baseline: {error}", file=sys.stderr)
+            _out(f"cannot read analyzer baseline: {error}", file=sys.stderr)
             return 2
     failing = audit.new_findings(report, baseline)
     if args.json:
         payload = {key: value for key, value in report.items()
                    if not key.startswith("_")}
         payload["failing"] = [audit.fingerprint(f) for f in failing]
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _out(json.dumps(payload, indent=2, sort_keys=True))
         return 1 if failing else 0
     from repro.eval import format_table
 
@@ -259,19 +290,19 @@ def _cmd_analyze(args) -> int:
                  if f["severity"] == "warn" and not f["suppressed"]),
              sum(1 for f in m["findings"] if f["suppressed"]))
             for m in report["models"]]
-    print(format_table(("model", "graph nodes", "errors", "warnings",
+    _out(format_table(("model", "graph nodes", "errors", "warnings",
                         "suppressed"), rows,
                        title=f"static analysis (envelope ±{args.envelope:g})"))
     for finding in failing:
         location = f"{finding.file}:{finding.line}" if finding.file else "<graph>"
-        print(f"{finding.severity.upper()} {finding.rule} "
+        _out(f"{finding.severity.upper()} {finding.rule} "
               f"[{finding.model} :: {finding.module_path} :: {finding.op}] "
               f"{location}\n    {finding.message}")
     if failing:
-        print(f"{len(failing)} finding(s) not covered by the baseline",
+        _out(f"{len(failing)} finding(s) not covered by the baseline",
               file=sys.stderr)
         return 1
-    print("analysis clean: no findings outside the baseline")
+    _out("analysis clean: no findings outside the baseline")
     return 0
 
 
@@ -294,7 +325,7 @@ def _cmd_analyze_data(args) -> int:
         ("context-anomaly ratio", f"{ratios[1]:.3f}"),
         ("recommended window (median)", int(np.median(windows))),
     ]
-    print(format_table(("property", "value"), rows,
+    _out(format_table(("property", "value"), rows,
                        title=f"analysis of {args.dataset}"))
     return 0
 
@@ -337,7 +368,7 @@ def _cmd_chaos(args) -> int:
          stats["sanitized"], stats["fallback"], stats["alerts"])
         for service_id, stats in counters.items()
     ]
-    print(format_table(
+    _out(format_table(
         ("service", "health", "faults", "transitions", "sanitized",
          "fallback scores", "alerts"),
         rows,
@@ -372,7 +403,12 @@ def _cmd_train_fleet(args) -> int:
             tuple(s.train for s in group),
         ))
     fleet = FleetConfig(workers=args.workers, fleet_seed=args.fleet_seed,
-                        timeout=args.timeout, max_attempts=args.max_attempts)
+                        timeout=args.timeout, max_attempts=args.max_attempts,
+                        observability=args.obs)
+    if args.obs and args.directory is None:
+        _out("note: --obs without --dir writes telemetry to a temporary "
+             "directory that is deleted on exit; pass --dir to keep it",
+             file=sys.stderr)
     faults = None
     if args.fault_rate > 0.0:
         injector = FaultInjector(seed=args.chaos_seed)
@@ -386,7 +422,7 @@ def _cmd_train_fleet(args) -> int:
         with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
             report = train_fleet(jobs, config, tmp, fleet, faults=faults)
     injected = len(faults) if faults else 0
-    print(format_table(
+    _out(format_table(
         ("group", "status", "attempts", "rewinds", "nonfinite", "epochs",
          "final loss", "error"),
         report.summary_rows(),
@@ -423,9 +459,22 @@ def _cmd_check_model(args) -> int:
         spec = input_spec((batch, args.window, args.features))
         out = check_model(MaceModel(config), spec)
     except ContractError as error:
-        print(f"contract violation: {error}", file=sys.stderr)
+        _out(f"contract violation: {error}", file=sys.stderr)
         return 1
-    print(f"ok: {spec} -> {out}")
+    _out(f"ok: {spec} -> {out}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.report import render_report
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        _out(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+    _out(render_report(directory, top_k=args.top))
     return 0
 
 
@@ -437,6 +486,7 @@ _COMMANDS = {
     "analyze-data": _cmd_analyze_data,
     "chaos": _cmd_chaos,
     "train-fleet": _cmd_train_fleet,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
     "check-model": _cmd_check_model,
 }

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -13,6 +14,9 @@ from repro.data.windows import WindowDataset
 from repro.nn import no_grad
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.obs.events import emit
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 __all__ = ["TrainingHistory", "MaceTrainer"]
 
@@ -121,42 +125,70 @@ class MaceTrainer:
             if on_fit_start is not None:
                 on_fit_start(self, optimizer)
         self.model.train()
+        # Telemetry (DESIGN.md §11): metric objects are resolved once per
+        # fit and only touched at epoch granularity; the per-batch cost is
+        # a span() call, which is a no-op while tracing is disabled.
+        registry = get_registry()
+        epoch_seconds = registry.histogram("trainer.epoch_seconds")
+        batch_counter = registry.counter("trainer.batches")
+        nonfinite_counter = registry.counter("trainer.nonfinite_batches")
         epoch = start_epoch
         while epoch < self.config.epochs:
+            epoch_started = time.perf_counter()
             epoch_loss = 0.0
             epoch_norm = 0.0
             batches = 0
-            for batch_index, batch in enumerate(
-                    dataset.batches(self.config.batch_size, self.rng)):
-                optimizer.zero_grad()
-                output = self.model(Tensor(batch.windows), self.extractor,
-                                    batch.service_id)
-                loss = self.model.loss(output)
-                if batch_hook is not None:
-                    replacement = batch_hook(epoch, batch_index, loss)
-                    if replacement is not None:
-                        loss = replacement
-                loss_value = float(loss.data)
-                if not np.isfinite(loss_value):
-                    # A poisoned batch must not reach the weights: skip the
-                    # step entirely and surface the event instead of
-                    # averaging NaN into the epoch loss.
-                    self.history.nonfinite_batches.append((epoch, batch_index))
-                    continue
-                loss.backward()
-                norm = clip_grad_norm(self.model.parameters(),
-                                      self.config.grad_clip)
-                if not np.isfinite(norm):
-                    # Finite loss but exploded/NaN gradients (e.g. an
-                    # injected nan_grad fault downstream of the loss).
-                    self.history.nonfinite_batches.append((epoch, batch_index))
-                    continue
-                optimizer.step()
-                epoch_loss += loss_value
-                epoch_norm += norm
-                batches += 1
+            skipped = 0
+            with span("trainer.epoch"):
+                for batch_index, batch in enumerate(
+                        dataset.batches(self.config.batch_size, self.rng)):
+                    with span("trainer.batch"):
+                        optimizer.zero_grad()
+                        output = self.model(Tensor(batch.windows),
+                                            self.extractor,
+                                            batch.service_id)
+                        loss = self.model.loss(output)
+                        if batch_hook is not None:
+                            replacement = batch_hook(epoch, batch_index, loss)
+                            if replacement is not None:
+                                loss = replacement
+                        loss_value = float(loss.data)
+                        if not np.isfinite(loss_value):
+                            # A poisoned batch must not reach the weights:
+                            # skip the step entirely and surface the event
+                            # instead of averaging NaN into the epoch loss.
+                            self.history.nonfinite_batches.append(
+                                (epoch, batch_index))
+                            skipped += 1
+                            continue
+                        loss.backward()
+                        norm = clip_grad_norm(self.model.parameters(),
+                                              self.config.grad_clip)
+                        if not np.isfinite(norm):
+                            # Finite loss but exploded/NaN gradients (e.g. an
+                            # injected nan_grad fault downstream of the loss).
+                            self.history.nonfinite_batches.append(
+                                (epoch, batch_index))
+                            skipped += 1
+                            continue
+                        optimizer.step()
+                        epoch_loss += loss_value
+                        epoch_norm += norm
+                        batches += 1
             self.history.epoch_losses.append(epoch_loss / max(batches, 1))
             self.history.grad_norms.append(epoch_norm / max(batches, 1))
+            elapsed = time.perf_counter() - epoch_started
+            epoch_seconds.observe(elapsed)
+            batch_counter.inc(batches + skipped)
+            if skipped:
+                nonfinite_counter.inc(skipped)
+                for event_epoch, event_batch in \
+                        self.history.nonfinite_batches[-skipped:]:
+                    emit("nonfinite_batch", epoch=event_epoch,
+                         batch=event_batch)
+            emit("epoch", epoch=epoch, loss=self.history.epoch_losses[-1],
+                 grad_norm=self.history.grad_norms[-1], seconds=elapsed,
+                 nonfinite=skipped)
             if epoch_hook is not None:
                 rewind_to = epoch_hook(self, optimizer, epoch + 1)
                 if rewind_to is not None:

@@ -1,0 +1,70 @@
+"""Unified observability layer: metrics, tracing spans, structured events.
+
+The paper's headline claim is *efficiency*; this package is how the
+reproduction measures it from the inside (DESIGN.md §11):
+
+``repro.obs.metrics``
+    Dependency-free registry of counters, gauges and streaming histograms
+    (P² quantiles), with Prometheus-style exposition, bitwise-stable
+    JSONL export, and associative cross-process merge.
+``repro.obs.tracing``
+    Nested context-manager spans (wall time + optional ``tracemalloc``
+    deltas), deterministic root-span sampling, and a near-zero-cost
+    disabled path so call sites can live in hot loops permanently; plus
+    :func:`profile_ops`, the autograd op-hook latency profiler.
+``repro.obs.events``
+    Append-only schema-versioned JSONL event log: health transitions,
+    breaker trips, checkpoint saves/rewinds, fleet retries,
+    non-finite-batch skips.
+``repro.obs.report``
+    ``repro obs report`` — per-phase time/memory breakdown, top-k ops,
+    epoch timeline and fleet attempt tables from a run directory's JSONL
+    artifacts alone.
+
+Everything is off-or-cheap by default: metrics always record (a few
+float ops per event), tracing must be enabled explicitly, and the event
+log is an in-memory ring until a file-backed log is installed.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    EventLog,
+    emit,
+    get_event_log,
+    install_event_log,
+    read_events,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    get_registry,
+    install_registry,
+)
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    profile_ops,
+    span,
+    tracing_enabled,
+)
+from repro.obs.report import RunTelemetry, load_run, render_report
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "P2Quantile", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "DEFAULT_QUANTILES",
+    "get_registry", "install_registry",
+    "SpanRecord", "Tracer", "span", "enable_tracing", "disable_tracing",
+    "tracing_enabled", "current_tracer", "profile_ops",
+    "EventLog", "EVENT_KINDS", "SCHEMA_VERSION", "emit", "get_event_log",
+    "install_event_log", "read_events",
+    "RunTelemetry", "load_run", "render_report",
+]

@@ -1,0 +1,236 @@
+"""Render a human-readable telemetry report from a run directory.
+
+``repro obs report --dir RUN`` reconstructs what a run did from the
+JSONL artifacts alone — the orchestrator's ``events.jsonl``, each group's
+``events.jsonl`` / ``metrics.jsonl`` / ``spans.jsonl`` and ``result.json``
+— and renders four sections:
+
+* **fleet attempts** — per group: attempt outcomes, retries, rewinds,
+  terminal status (the fault-tolerance story of PRs 2–4, now auditable
+  offline);
+* **epoch timeline** — per group and epoch: loss, gradient norm, wall
+  seconds and non-finite-batch skips;
+* **phase breakdown** — aggregated spans: where wall time and traced
+  allocation went (``fit/epoch/batch`` and friends);
+* **top ops** — the k most expensive autograd ops by total wall time,
+  from the gap-attributed per-op histograms.
+
+The same renderer accepts a *flat* run directory (one process writing
+``events.jsonl`` + ``metrics.jsonl`` + ``spans.jsonl`` at top level):
+sections simply omit what the directory does not contain.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.events import read_events
+from repro.obs.tracing import aggregate_spans
+
+__all__ = ["RunTelemetry", "load_run", "render_report"]
+
+
+class RunTelemetry:
+    """Everything the report renderer needs, loaded from JSONL."""
+
+    def __init__(self, directory: Path):
+        self.directory = directory
+        self.fleet_events: List[dict] = []
+        self.group_events: Dict[str, List[dict]] = {}
+        self.group_results: Dict[str, dict] = {}
+        self.metrics = MetricsRegistry()
+        self.spans: List[dict] = []
+
+    @property
+    def groups(self) -> List[str]:
+        names = set(self.group_events) | set(self.group_results)
+        return sorted(names)
+
+
+def load_run(directory: str | Path) -> RunTelemetry:
+    """Load every telemetry artifact under a run directory."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"run directory does not exist: {root}")
+    telemetry = RunTelemetry(root)
+    _load_flat(root, telemetry, group=None)
+    for child in sorted(root.iterdir()):
+        if child.is_dir() and _looks_like_group(child):
+            _load_flat(child, telemetry, group=child.name)
+    return telemetry
+
+
+def _looks_like_group(directory: Path) -> bool:
+    return any((directory / name).is_file()
+               for name in ("result.json", "events.jsonl", "metrics.jsonl",
+                            "spans.jsonl"))
+
+
+def _load_flat(directory: Path, telemetry: RunTelemetry,
+               group: Optional[str]) -> None:
+    events_path = directory / "events.jsonl"
+    if events_path.is_file():
+        records = list(read_events(events_path))
+        if group is None:
+            telemetry.fleet_events = records
+        else:
+            telemetry.group_events[group] = records
+    metrics_path = directory / "metrics.jsonl"
+    if metrics_path.is_file():
+        telemetry.metrics.merge(MetricsRegistry.from_jsonl(
+            metrics_path.read_text(encoding="utf-8")))
+    spans_path = directory / "spans.jsonl"
+    if spans_path.is_file():
+        for line in spans_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                telemetry.spans.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    result_path = directory / "result.json"
+    if group is not None and result_path.is_file():
+        try:
+            telemetry.group_results[group] = json.loads(
+                result_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            pass
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_report(directory: str | Path, top_k: int = 10) -> str:
+    """The full ``repro obs report`` text for one run directory."""
+    telemetry = load_run(directory)
+    sections = []
+    for renderer in (_render_attempts, _render_epochs, _render_phases):
+        text = renderer(telemetry)
+        if text:
+            sections.append(text)
+    text = _render_top_ops(telemetry, top_k)
+    if text:
+        sections.append(text)
+    if not sections:
+        return (f"no telemetry artifacts under {telemetry.directory} "
+                "(expected events.jsonl / metrics.jsonl / spans.jsonl)")
+    return "\n\n".join(sections)
+
+
+def _format_table(headers, rows, title):
+    # Imported lazily: repro.eval pulls in repro.obs (via profiling), so a
+    # module-level import here would be circular.
+    from repro.eval.reporting import format_table
+
+    return format_table(headers, rows, title=title)
+
+
+def _render_attempts(telemetry: RunTelemetry) -> Optional[str]:
+    ends = [e for e in telemetry.fleet_events
+            if e.get("kind") == "attempt_end"]
+    if not ends and not telemetry.group_results:
+        return None
+    by_group: Dict[str, List[dict]] = {}
+    for event in ends:
+        by_group.setdefault(str(event.get("group")), []).append(event)
+    retries: Dict[str, int] = {}
+    for event in telemetry.fleet_events:
+        if event.get("kind") == "retry":
+            group = str(event.get("group"))
+            retries[group] = retries.get(group, 0) + 1
+    terminal: Dict[str, str] = {}
+    for event in telemetry.fleet_events:
+        if event.get("kind") == "group_done":
+            terminal[str(event.get("group"))] = "done"
+        elif event.get("kind") == "group_failed":
+            terminal[str(event.get("group"))] = "failed"
+    groups = sorted(set(by_group) | set(telemetry.group_results))
+    rows = []
+    for group in groups:
+        events = by_group.get(group, [])
+        outcomes = "->".join(str(e.get("outcome", "?")) for e in events) or "-"
+        seconds = sum(float(e.get("seconds", 0.0)) for e in events)
+        result = telemetry.group_results.get(group, {})
+        rows.append((
+            group,
+            len(events),
+            outcomes,
+            retries.get(group, 0),
+            result.get("rewinds", 0),
+            result.get("nonfinite_batches", 0),
+            terminal.get(group) or result.get("status", "?"),
+            f"{seconds:.2f}",
+        ))
+    if not rows:
+        return None
+    return _format_table(
+        ("group", "attempts", "outcomes", "retries", "rewinds",
+         "nonfinite", "status", "seconds"),
+        rows, title="fleet attempts")
+
+
+def _render_epochs(telemetry: RunTelemetry) -> Optional[str]:
+    rows = []
+    sources = list(telemetry.group_events.items())
+    if telemetry.fleet_events and not sources:
+        sources = [("-", telemetry.fleet_events)]
+    for group, events in sources:
+        for event in events:
+            if event.get("kind") != "epoch":
+                continue
+            loss = event.get("loss")
+            norm = event.get("grad_norm")
+            rows.append((
+                group, event.get("epoch"),
+                f"{loss:.6f}" if isinstance(loss, float) else loss,
+                f"{norm:.4f}" if isinstance(norm, float) else norm,
+                f"{float(event.get('seconds', 0.0)):.3f}",
+                event.get("nonfinite", 0),
+            ))
+    if not rows:
+        return None
+    return _format_table(
+        ("group", "epoch", "loss", "grad norm", "seconds", "nonfinite"),
+        rows, title="epoch timeline")
+
+
+def _render_phases(telemetry: RunTelemetry) -> Optional[str]:
+    if not telemetry.spans:
+        return None
+    totals = aggregate_spans(telemetry.spans)
+    ordered = sorted(totals.items(),
+                     key=lambda item: item[1]["seconds"], reverse=True)
+    rows = []
+    for path, entry in ordered:
+        mean_ms = 1e3 * entry["seconds"] / max(entry["count"], 1)
+        rows.append((path, entry["count"], f"{entry['seconds']:.3f}",
+                     f"{mean_ms:.3f}", f"{entry['memory_kb']:.1f}"))
+    return _format_table(
+        ("phase", "count", "total s", "mean ms", "alloc KiB"),
+        rows, title="phase breakdown (spans)")
+
+
+def _render_top_ops(telemetry: RunTelemetry, top_k: int) -> Optional[str]:
+    histograms = [m for m in telemetry.metrics.collect("autograd.op_seconds")
+                  if isinstance(m, Histogram) and m.count]
+    if not histograms:
+        return None
+    # The same op may arrive from several groups with identical labels —
+    # collect() already returns the merged series per label set.
+    ordered = sorted(histograms, key=lambda h: h.total, reverse=True)
+    rows = []
+    for histogram in ordered[:top_k]:
+        op = dict(histogram.labels).get("op", histogram.name)
+        rows.append((
+            op, histogram.count, f"{histogram.total:.4f}",
+            f"{1e3 * histogram.mean:.4f}",
+            f"{1e3 * histogram.quantile(0.99):.4f}",
+        ))
+    return _format_table(
+        ("op", "calls", "total s", "mean ms", "p99 ms"),
+        rows, title=f"top {min(top_k, len(ordered))} autograd ops "
+                    "(gap-attributed)")

@@ -34,6 +34,7 @@ from repro.nn.serialization import (
     load_state,
     save_state,
 )
+from repro.obs.tracing import span
 
 __all__ = [
     "CheckpointError",
@@ -216,11 +217,17 @@ class Checkpointer:
         return self._save(trainer, optimizer, epoch)
 
     def _save(self, trainer, optimizer, epoch: int) -> Path:
+        from repro.obs.events import emit
+        from repro.obs.metrics import get_registry
+
         path = self.directory / f"ckpt-epoch{epoch:04d}.npz"
-        save_training_checkpoint(path, trainer, optimizer, epoch)
-        self.saved.append(path)
-        self._prune()
-        fsync_directory(self.directory)
+        with span("checkpoint.save"):
+            save_training_checkpoint(path, trainer, optimizer, epoch)
+            self.saved.append(path)
+            self._prune()
+            fsync_directory(self.directory)
+        get_registry().counter("checkpoint.saves").inc()
+        emit("checkpoint_save", path=str(path), epoch=epoch)
         return path
 
     def latest(self) -> Optional[Path]:

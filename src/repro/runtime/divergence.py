@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs.events import emit
+from repro.obs.metrics import get_registry
 from repro.runtime.checkpoint import Checkpointer, restore_trainer
 
 __all__ = [
@@ -146,6 +148,9 @@ class DivergenceGuard:
             epoch=epoch, reason=reason, loss=loss, threshold=threshold,
             rewound_to=rewound_to, lr=optimizer.lr,
         ))
+        get_registry().counter("trainer.rewinds", reason=reason).inc()
+        emit("checkpoint_rewind", epoch=epoch, rewound_to=rewound_to,
+             reason=reason, loss=loss, lr=optimizer.lr)
         return rewound_to
 
     def _diagnose(self, trainer, epoch: int, loss: float):

@@ -51,6 +51,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.model import MaceConfig
+from repro.obs.events import EventLog, install_event_log
+from repro.obs.metrics import MetricsRegistry, get_registry, install_registry
+from repro.obs.tracing import disable_tracing, enable_tracing, profile_ops
 from repro.runtime.faults import WorkerFault
 
 __all__ = [
@@ -123,6 +126,10 @@ class FleetConfig:
     start_method: Optional[str] = None  # None: "fork" if available
     poll_interval: float = 0.05     # scheduler wait granularity, seconds
     term_grace: float = 5.0         # SIGTERM→SIGKILL escalation window
+    # Worker-side telemetry: per-op tracing + spans + a file-backed event
+    # log in each group directory, merged back through result.json.  The
+    # orchestrator's own events.jsonl is always written (append-only).
+    observability: bool = False
 
     def __post_init__(self):
         if self.workers < 1:
@@ -168,6 +175,9 @@ class GroupResult:
     divergence_events: List[dict] = field(default_factory=list)
     state_path: Optional[str] = None
     error: Optional[str] = None
+    # Worker-process metric snapshots (repro.obs.metrics), carried back
+    # through the result.json handoff when observability is on.
+    metrics: List[dict] = field(default_factory=list)
 
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Final model weights of a DONE group (loads the checkpoint)."""
@@ -204,6 +214,18 @@ class FleetReport:
 
     def state_dict(self, group_id: str) -> Dict[str, np.ndarray]:
         return self.group(group_id).state_dict()
+
+    def merged_metrics(self) -> "MetricsRegistry":
+        """One registry folding every group's worker metrics together.
+
+        Histogram merge is associative, so the result is independent of
+        worker scheduling and group order.
+        """
+        merged = MetricsRegistry()
+        for result in self.groups:
+            if result.metrics:
+                merged.merge_snapshot(result.metrics)
+        return merged
 
     def summary_rows(self) -> List[tuple]:
         """One row per group, for ``repro.eval.format_table``."""
@@ -248,6 +270,54 @@ def _fault_hooks(fault: Optional[WorkerFault], guard):
     return epoch_hook, batch_hook
 
 
+class _WorkerObservability:
+    """Worker-process telemetry session (no-op unless enabled).
+
+    When on: a fresh metrics registry and a file-backed event log are
+    installed for the worker, tracing records ``fit/epoch/batch`` spans,
+    and the autograd op profiler attributes per-op latency.  On close the
+    registry and spans are dumped to ``metrics.jsonl`` / ``spans.jsonl``
+    in the group directory, and :meth:`snapshot` rides home inside
+    ``result.json``.
+    """
+
+    def __init__(self, directory: Path, enabled: bool):
+        self.enabled = enabled
+        self.directory = directory
+        self.registry = None
+        self._log = None
+        self._previous_registry = None
+        self._previous_log = None
+        self._op_profiler = None
+
+    def __enter__(self) -> "_WorkerObservability":
+        if not self.enabled:
+            return self
+        self.registry = MetricsRegistry()
+        self._previous_registry = install_registry(self.registry)
+        self._log = EventLog(self.directory / "events.jsonl")
+        self._previous_log = install_event_log(self._log)
+        enable_tracing()
+        self._op_profiler = profile_ops(self.registry)
+        self._op_profiler.__enter__()
+        return self
+
+    def snapshot(self) -> List[dict]:
+        return self.registry.snapshot() if self.registry is not None else []
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.enabled:
+            return
+        self._op_profiler.__exit__(None, None, None)
+        tracer = disable_tracing()
+        if tracer is not None:
+            tracer.dump(self.directory / "spans.jsonl")
+        self.registry.dump(self.directory / "metrics.jsonl")
+        install_registry(self._previous_registry)
+        install_event_log(self._previous_log)
+        self._log.close()
+
+
 def _run_group_job(payload: dict) -> None:
     """Worker entry point: train one group, write ``result.json``.
 
@@ -276,33 +346,36 @@ def _run_group_job(payload: dict) -> None:
     epoch_hook, batch_hook = _fault_hooks(payload["fault"], guard)
     resume = checkpointer.latest()
     trainer = MaceTrainer(config)
-    try:
-        trainer.fit(
-            list(payload["service_ids"]), list(payload["train_series"]),
-            checkpointer=checkpointer, resume=resume,
-            epoch_hook=epoch_hook, batch_hook=batch_hook,
-        )
-    except DivergenceError as error:
+    with _WorkerObservability(directory, payload.get("obs", False)) as obs:
+        try:
+            trainer.fit(
+                list(payload["service_ids"]), list(payload["train_series"]),
+                checkpointer=checkpointer, resume=resume,
+                epoch_hook=epoch_hook, batch_hook=batch_hook,
+            )
+        except DivergenceError as error:
+            result = {
+                "status": "diverged",
+                "error": str(error),
+                "rewinds": guard.rewinds,
+                "divergence_events": [dataclasses.asdict(e)
+                                      for e in guard.events],
+                "nonfinite_batches": len(trainer.history.nonfinite_batches),
+                "metrics": obs.snapshot(),
+            }
+            atomic_replace(directory / _RESULT_NAME,
+                           json.dumps(result).encode("utf-8"))
+            return
         result = {
-            "status": "diverged",
-            "error": str(error),
+            "status": "done",
+            "epochs": config.epochs,
+            "final_loss": trainer.history.final_loss,
             "rewinds": guard.rewinds,
-            "divergence_events": [dataclasses.asdict(e)
-                                  for e in guard.events],
+            "divergence_events": [dataclasses.asdict(e) for e in guard.events],
             "nonfinite_batches": len(trainer.history.nonfinite_batches),
+            "state_path": str(checkpointer.latest()),
+            "metrics": obs.snapshot(),
         }
-        atomic_replace(directory / _RESULT_NAME,
-                       json.dumps(result).encode("utf-8"))
-        return
-    result = {
-        "status": "done",
-        "epochs": config.epochs,
-        "final_loss": trainer.history.final_loss,
-        "rewinds": guard.rewinds,
-        "divergence_events": [dataclasses.asdict(e) for e in guard.events],
-        "nonfinite_batches": len(trainer.history.nonfinite_batches),
-        "state_path": str(checkpointer.latest()),
-    }
     atomic_replace(directory / _RESULT_NAME,
                    json.dumps(result).encode("utf-8"))
 
@@ -352,6 +425,12 @@ class FleetOrchestrator:
             np.random.SeedSequence([self.fleet.fleet_seed & 0xFFFFFFFF,
                                     0x5EED])
         )
+        self.registry = get_registry()
+        self._events: Optional[EventLog] = None
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[FleetJob],
@@ -380,27 +459,33 @@ class FleetOrchestrator:
         pending: List[str] = [job.group_id for job in jobs]
         running: List[str] = []
 
-        while pending or running:
-            now = time.monotonic()
-            self._launch_eligible(runs, pending, running, now)
-            if not running:
-                # Everything pending is gated on backoff; sleep to the
-                # nearest eligibility instant.
-                wake = min(runs[g].eligible_at for g in pending)
-                time.sleep(min(max(wake - now, 0.0) + 1e-3,
-                               self.fleet.poll_interval))
-                continue
-            self._wait(runs, running)
-            now = time.monotonic()
-            for group_id in list(running):
-                run = runs[group_id]
-                if not run.process.is_alive():
-                    running.remove(group_id)
-                    self._reap(run, pending, timed_out=False)
-                elif now >= run.deadline:
-                    self._terminate(run.process)
-                    running.remove(group_id)
-                    self._reap(run, pending, timed_out=True)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._events = EventLog(self.directory / "events.jsonl")
+        try:
+            while pending or running:
+                now = time.monotonic()
+                self._launch_eligible(runs, pending, running, now)
+                if not running:
+                    # Everything pending is gated on backoff; sleep to the
+                    # nearest eligibility instant.
+                    wake = min(runs[g].eligible_at for g in pending)
+                    time.sleep(min(max(wake - now, 0.0) + 1e-3,
+                                   self.fleet.poll_interval))
+                    continue
+                self._wait(runs, running)
+                now = time.monotonic()
+                for group_id in list(running):
+                    run = runs[group_id]
+                    if not run.process.is_alive():
+                        running.remove(group_id)
+                        self._reap(run, pending, timed_out=False)
+                    elif now >= run.deadline:
+                        self._terminate(run.process)
+                        running.remove(group_id)
+                        self._reap(run, pending, timed_out=True)
+        finally:
+            self._events.close()
+            self._events = None
 
         report = FleetReport(
             fleet_seed=self.fleet.fleet_seed,
@@ -444,6 +529,7 @@ class FleetOrchestrator:
             "lr_factor": self.fleet.lr_factor,
             "spike_mads": self.fleet.spike_mads,
             "min_history": self.fleet.min_history,
+            "obs": self.fleet.observability,
         }
         process = self._context.Process(
             target=_run_group_job, args=(payload,),
@@ -454,6 +540,7 @@ class FleetOrchestrator:
         run.started_at = time.monotonic()
         run.deadline = run.started_at + self.fleet.timeout
         run.result.status = JobStatus.RUNNING
+        self._emit("attempt_start", group=run.job.group_id, attempt=attempt)
 
     def _wait(self, runs, running: List[str]) -> None:
         """Block until a worker exits, a deadline passes, or a poll tick."""
@@ -492,17 +579,20 @@ class FleetOrchestrator:
         if result is not None and result.get("status") == "done":
             run.result.attempts.append(AttemptRecord(
                 attempt, "done", exitcode, seconds))
+            self._note_attempt(run, attempt, "done", exitcode, seconds)
             self._finish_done(run, result)
             return
         if result is not None and result.get("status") == "diverged":
             run.result.attempts.append(AttemptRecord(
                 attempt, "diverged", exitcode, seconds))
+            self._note_attempt(run, attempt, "diverged", exitcode, seconds)
             self._finish_failed(run, result.get("error", "diverged"), result)
             return
 
         outcome = "timeout" if timed_out else "crash"
         run.result.attempts.append(AttemptRecord(
             attempt, outcome, exitcode, seconds))
+        self._note_attempt(run, attempt, outcome, exitcode, seconds)
         if attempt >= self.fleet.max_attempts:
             self._finish_failed(
                 run,
@@ -511,9 +601,20 @@ class FleetOrchestrator:
                 None,
             )
             return
+        backoff = self._backoff(attempt)
         run.result.status = JobStatus.PENDING
-        run.eligible_at = time.monotonic() + self._backoff(attempt)
+        run.eligible_at = time.monotonic() + backoff
         pending.append(run.job.group_id)
+        self.registry.counter("fleet.retries").inc()
+        self._emit("retry", group=run.job.group_id, attempt=attempt,
+                   backoff_seconds=backoff)
+
+    def _note_attempt(self, run: _JobRun, attempt: int, outcome: str,
+                      exitcode: Optional[int], seconds: float) -> None:
+        self.registry.counter("fleet.attempts", outcome=outcome).inc()
+        self.registry.histogram("fleet.attempt_seconds").observe(seconds)
+        self._emit("attempt_end", group=run.job.group_id, attempt=attempt,
+                   outcome=outcome, exitcode=exitcode, seconds=seconds)
 
     def _finish_done(self, run: _JobRun, result: dict) -> None:
         run.result.status = JobStatus.DONE
@@ -524,6 +625,10 @@ class FleetOrchestrator:
         run.result.divergence_events = list(result.get("divergence_events",
                                                        []))
         run.result.state_path = result.get("state_path")
+        self._absorb_metrics(run, result)
+        self._emit("group_done", group=run.job.group_id,
+                   epochs=run.result.epochs, final_loss=run.result.final_loss,
+                   rewinds=run.result.rewinds)
 
     def _finish_failed(self, run: _JobRun, error: str,
                        result: Optional[dict]) -> None:
@@ -535,6 +640,20 @@ class FleetOrchestrator:
                 result.get("nonfinite_batches", 0))
             run.result.divergence_events = list(
                 result.get("divergence_events", []))
+            self._absorb_metrics(run, result)
+        self._emit("group_failed", group=run.job.group_id, error=error)
+
+    def _absorb_metrics(self, run: _JobRun, result: dict) -> None:
+        """Merge the worker's metric snapshots into the fleet registry."""
+        snapshots = result.get("metrics") or []
+        run.result.metrics = list(snapshots)
+        if snapshots:
+            try:
+                self.registry.merge_snapshot(snapshots)
+            except (TypeError, ValueError, KeyError):
+                # A malformed snapshot from a torn worker must not take
+                # down the fleet; the raw list is still on the result.
+                pass
 
     def _backoff(self, failed_attempts: int) -> float:
         delay = self.fleet.backoff_base * (2.0 ** (failed_attempts - 1))

@@ -21,6 +21,7 @@ swallowing those would hide real bugs.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional
 
 import numpy as np
@@ -29,6 +30,9 @@ from repro.core.detector import AnomalyDetector
 from repro.core.streaming import StreamingDetector, StreamUpdate
 from repro.frequency.dft import rfft_amplitude
 from repro.frequency.spectrum import spectral_kl_divergence
+from repro.obs.events import emit
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import span
 from repro.runtime.health import BreakerConfig, HealthState, ServiceHealth
 from repro.runtime.sanitize import Sanitizer, SanitizerConfig
 
@@ -113,7 +117,8 @@ class ServingRuntime:
                  q: float = 1e-3, calibration_level: float = 0.98,
                  sanitizer_config: SanitizerConfig | None = None,
                  breaker_config: BreakerConfig | None = None,
-                 fallback_quantile: float = 0.995):
+                 fallback_quantile: float = 0.995,
+                 registry: MetricsRegistry | None = None):
         self.streaming = StreamingDetector(
             detector, window=window, q=q,
             calibration_level=calibration_level, on_invalid="impute",
@@ -122,9 +127,12 @@ class ServingRuntime:
         self.sanitizer_config = sanitizer_config or SanitizerConfig()
         self.breaker_config = breaker_config or BreakerConfig()
         self.fallback_quantile = fallback_quantile
+        self.registry = registry if registry is not None else get_registry()
         self._sanitizers: Dict[str, Sanitizer] = {}
         self._health: Dict[str, ServiceHealth] = {}
         self._fallbacks: Dict[str, SpectralFallbackScorer] = {}
+        self._latency: Dict[str, object] = {}   # per-service histograms
+        self._reported_transitions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -146,6 +154,9 @@ class ServingRuntime:
         self._sanitizers[service_id] = sanitizer
         self._health[service_id] = ServiceHealth(self.breaker_config)
         self._fallbacks[service_id] = fallback
+        self._latency[service_id] = self.registry.histogram(
+            "serving.update_seconds", service=service_id)
+        self._reported_transitions[service_id] = 0
 
     def services(self) -> tuple:
         return tuple(self._health)
@@ -153,10 +164,33 @@ class ServingRuntime:
     def health(self, service_id: str) -> ServiceHealth:
         return self._health[service_id]
 
-    def health_states(self) -> Dict[str, HealthState]:
-        """Current state of every service (fleet dashboard view)."""
-        return {service_id: health.state
-                for service_id, health in self._health.items()}
+    def health_states(self, detail: bool = False) -> Dict[str, object]:
+        """Current state of every service (fleet dashboard view).
+
+        With ``detail=True`` each service maps to a telemetry dict —
+        state, transition count, total failures, and the update-latency
+        quantiles from the per-service histogram — instead of the bare
+        :class:`HealthState`.
+        """
+        if not detail:
+            return {service_id: health.state
+                    for service_id, health in self._health.items()}
+        view: Dict[str, object] = {}
+        for service_id, health in self._health.items():
+            histogram = self._latency[service_id]
+            view[service_id] = {
+                "state": health.state,
+                "transitions": len(health.transitions),
+                "total_failures": health.total_failures,
+                "updates": histogram.count,
+                "update_seconds": {
+                    "mean": histogram.mean,
+                    "p50": histogram.quantile(0.5),
+                    "p99": histogram.quantile(0.99),
+                    "max": histogram.max if histogram.count else None,
+                },
+            }
+        return view
 
     # ------------------------------------------------------------------
     # The loop
@@ -169,11 +203,46 @@ class ServingRuntime:
         path — are absorbed: the breaker records them and the fallback
         scorer answers instead.  Only usage errors (unknown service, wrong
         feature count) propagate.
+
+        Every update lands in the per-service latency histogram
+        (``serving.update_seconds``), and any health-state transition it
+        caused is counted (``serving.health_transitions``) and emitted as
+        a ``health_transition`` event — ``breaker_trip`` when the breaker
+        opened.
         """
         if service_id not in self._health:
             raise KeyError(
                 f"service {service_id!r} not started; call start_service()"
             )
+        started = time.perf_counter()
+        try:
+            with span("serving.update"):
+                return self._update(service_id, observation)
+        finally:
+            self._latency[service_id].observe(time.perf_counter() - started)
+            self._report_transitions(service_id)
+
+    def _report_transitions(self, service_id: str) -> None:
+        """Turn newly recorded state transitions into metrics + events."""
+        health = self._health[service_id]
+        reported = self._reported_transitions[service_id]
+        for tick, from_state, to_state in health.transitions[reported:]:
+            self.registry.counter(
+                "serving.health_transitions", service=service_id,
+                from_state=from_state.value, to_state=to_state.value,
+            ).inc()
+            emit("health_transition", service=service_id,
+                 from_state=from_state.value, to_state=to_state.value,
+                 tick=tick)
+            if to_state is HealthState.QUARANTINED:
+                self.registry.counter("serving.breaker_trips",
+                                      service=service_id).inc()
+                emit("breaker_trip", service=service_id,
+                     failures=health.total_failures, tick=tick)
+        self._reported_transitions[service_id] = len(health.transitions)
+
+    def _update(self, service_id: str,
+                observation: Optional[np.ndarray]) -> StreamUpdate:
         sanitizer = self._sanitizers[service_id]
         health = self._health[service_id]
         health.tick()

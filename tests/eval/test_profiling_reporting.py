@@ -1,6 +1,7 @@
 """Profiler and table formatting."""
 
 import time
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -14,6 +15,7 @@ from repro.eval import (
     paper_vs_measured,
     profile_call,
 )
+from repro.obs.tracing import disable_tracing, enable_tracing
 
 
 class TestProfiler:
@@ -36,6 +38,46 @@ class TestProfiler:
         profile = profile_call(lambda: None)
         seconds, megabytes = profile.as_row()
         assert seconds >= 0 and megabytes >= 0
+
+
+class TestProfilerReentrancy:
+    """profile_call must compose with tracemalloc already running."""
+
+    def test_nested_profile_call(self):
+        def inner():
+            return profile_call(lambda: np.zeros(500_000).sum())
+
+        outer = profile_call(inner)
+        assert outer.result.result == 0.0
+        assert outer.result.peak_memory_mb > 3.0
+        assert not tracemalloc.is_tracing()  # both levels cleaned up
+
+    def test_preexisting_tracemalloc_stays_alive(self):
+        tracemalloc.start()
+        try:
+            profile = profile_call(lambda: np.zeros(500_000).sum())
+            # The pre-existing session must not be stopped underneath
+            # its owner, and the measurement is a delta from our own
+            # baseline, not the owner's total.
+            assert tracemalloc.is_tracing()
+            assert profile.peak_memory_mb > 3.0
+        finally:
+            tracemalloc.stop()
+
+    def test_breakdown_with_tracing_enabled(self):
+        enable_tracing()
+        try:
+            profile = profile_call(lambda: None)
+        finally:
+            disable_tracing()
+        # The wrapping "profile" span is attributed in the breakdown.
+        assert "profile" in profile.breakdown
+        assert profile.component_seconds("profile") >= 0.0
+
+    def test_breakdown_empty_when_tracing_disabled(self):
+        profile = profile_call(lambda: None)
+        assert profile.breakdown == {}
+        assert profile.component_seconds("anything") == 0.0
 
 
 class TestTables:

@@ -1,0 +1,181 @@
+"""Span tracing: disabled path, nesting, sampling, memory, op profiling."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    Tracer,
+    aggregate_spans,
+    current_tracer,
+    disable_tracing,
+    enable_tracing,
+    profile_ops,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        assert current_tracer() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        first = span("a")
+        second = span("b", key="value")
+        assert first is second  # no allocation on the disabled path
+
+    def test_disabled_span_is_a_noop_context(self):
+        with span("anything", epoch=3):
+            pass  # must not raise, must not record
+
+
+class TestRecording:
+    def test_nested_paths(self):
+        enable_tracing()
+        with span("fit"):
+            with span("epoch", index=0):
+                with span("batch"):
+                    pass
+            with span("epoch", index=1):
+                pass
+        tracer = disable_tracing()
+        paths = [record.path for record in tracer.spans]
+        assert paths == ["fit/epoch/batch", "fit/epoch", "fit/epoch", "fit"]
+        depths = {record.path: record.depth for record in tracer.spans}
+        assert depths["fit"] == 0
+        assert depths["fit/epoch/batch"] == 2
+
+    def test_span_times_are_positive_and_nested_leq_parent(self):
+        enable_tracing()
+        with span("outer"):
+            with span("inner"):
+                sum(range(10000))
+        tracer = disable_tracing()
+        by_path = {record.path: record for record in tracer.spans}
+        assert by_path["outer/inner"].seconds >= 0.0
+        assert by_path["outer"].seconds >= by_path["outer/inner"].seconds
+
+    def test_attrs_recorded(self):
+        enable_tracing()
+        with span("epoch", index=3, loss=0.5):
+            pass
+        tracer = disable_tracing()
+        assert tracer.spans[0].attrs == {"index": 3, "loss": 0.5}
+
+    def test_exception_still_closes_span(self):
+        enable_tracing()
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+        tracer = disable_tracing()
+        assert [record.path for record in tracer.spans] == ["boom"]
+
+    def test_memory_tracking(self):
+        enable_tracing(trace_memory=True)
+        with span("alloc"):
+            _ = np.zeros(1_000_000)
+        tracer = disable_tracing()
+        # ~7.6 MB allocation must show up as a positive KB delta.
+        assert tracer.spans[0].memory_kb > 1000
+
+    def test_jsonl_roundtrip(self):
+        enable_tracing()
+        with span("fit", dataset="smd"):
+            with span("epoch"):
+                pass
+        tracer = disable_tracing()
+        lines = tracer.to_jsonl().strip().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert {d["path"] for d in decoded} == {"fit", "fit/epoch"}
+        for d in decoded:
+            assert set(d) >= {"name", "path", "depth", "start", "seconds"}
+
+
+class TestSampling:
+    def test_zero_rate_records_nothing(self):
+        enable_tracing(sample_rate=0.0)
+        for _ in range(20):
+            with span("root"):
+                pass
+        assert disable_tracing().spans == []
+
+    def test_half_rate_records_every_other_root(self):
+        enable_tracing(sample_rate=0.5)
+        for _ in range(10):
+            with span("root"):
+                with span("child"):
+                    pass
+        tracer = disable_tracing()
+        roots = [r for r in tracer.spans if r.path == "root"]
+        children = [r for r in tracer.spans if r.path == "root/child"]
+        # Deterministic error-accumulator sampling: exactly half, and a
+        # skipped root also skips its children.
+        assert len(roots) == 5
+        assert len(children) == 5
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            enable_tracing(sample_rate=0.3)
+            for index in range(10):
+                with span("root", index=index):
+                    pass
+            return [r.attrs["index"] for r in disable_tracing().spans]
+
+        assert run() == run()
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestAggregate:
+    def test_aggregate_spans_totals(self):
+        enable_tracing()
+        for _ in range(3):
+            with span("epoch"):
+                with span("batch"):
+                    pass
+        tracer = disable_tracing()
+        totals = aggregate_spans(tracer.spans)
+        assert totals["epoch"]["count"] == 3
+        assert totals["epoch/batch"]["count"] == 3
+        assert totals["epoch"]["seconds"] >= totals["epoch/batch"]["seconds"]
+
+
+class TestProfileOps:
+    def test_op_histograms_recorded(self):
+        from repro.nn.tensor import Tensor
+
+        registry = MetricsRegistry()
+        with profile_ops(registry):
+            a = Tensor(np.ones((4, 4)), requires_grad=True)
+            b = (a * 2.0).sum()
+            b.backward()
+        ops = {dict(m.labels)["op"] for m in registry.collect("autograd.ops")}
+        assert "mul" in ops
+        assert "sum" in ops
+        for histogram in registry.collect("autograd.op_seconds"):
+            assert histogram.count >= 1
+            assert histogram.total >= 0.0
+
+    def test_hook_unregistered_on_exit(self):
+        from repro.nn.tensor import Tensor
+
+        registry = MetricsRegistry()
+        with profile_ops(registry):
+            Tensor(np.ones(3)) * 1.0
+        before = sum(m.value for m in registry.collect("autograd.ops"))
+        Tensor(np.ones(3)) * 1.0   # outside the block: must not record
+        after = sum(m.value for m in registry.collect("autograd.ops"))
+        assert before == after

@@ -219,3 +219,84 @@ class TestSpectralFallback:
     def test_short_history_rejected(self):
         with pytest.raises(ValueError):
             SpectralFallbackScorer(window=40).fit(np.zeros((60, 2)))
+
+
+class TestServingTelemetry:
+    """Latency histograms + health-transition counters/events."""
+
+    def _fresh_runtime(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        history = _history()
+        detector = ScriptedDetector().fit(["svc"], [history])
+        runtime = ServingRuntime(
+            detector, window=40, q=1e-2, registry=registry,
+            breaker_config=BreakerConfig(failure_threshold=3,
+                                         recovery_successes=2,
+                                         probe_successes=1, base_backoff=4,
+                                         max_backoff=32),
+        )
+        runtime.start_service("svc", history)
+        return runtime, registry
+
+    def test_every_update_lands_in_latency_histogram(self):
+        runtime, registry = self._fresh_runtime()
+        for row in _history(seed=1)[:25]:
+            runtime.update("svc", row)
+        histogram = registry.get("serving.update_seconds", service="svc")
+        assert histogram.count == 25
+        assert histogram.total > 0.0
+        assert histogram.quantile(0.5) > 0.0
+
+    def test_transition_counters_and_events(self):
+        from repro.obs.events import EventLog, install_event_log
+
+        runtime, registry = self._fresh_runtime()
+        log = EventLog()
+        previous = install_event_log(log)
+        try:
+            _detector(runtime).fail = True
+            for row in _history(seed=2)[:10]:
+                runtime.update("svc", row)
+        finally:
+            install_event_log(previous)
+        assert runtime.health("svc").state is HealthState.QUARANTINED
+        trips = registry.get("serving.breaker_trips", service="svc")
+        assert trips is not None and trips.value >= 1
+        transitions = registry.collect("serving.health_transitions")
+        assert sum(c.value for c in transitions) == \
+            len(runtime.health("svc").transitions)
+        kinds = [e["kind"] for e in log.events()]
+        assert "health_transition" in kinds
+        assert "breaker_trip" in kinds
+        trip = log.events("breaker_trip")[0]
+        assert trip["service"] == "svc"
+        assert trip["failures"] >= 3
+
+    def test_health_states_default_shape_unchanged(self):
+        runtime, _ = self._fresh_runtime()
+        runtime.update("svc", _history(seed=3)[0])
+        states = runtime.health_states()
+        assert states == {"svc": HealthState.HEALTHY}
+
+    def test_health_states_detail_view(self):
+        runtime, _ = self._fresh_runtime()
+        for row in _history(seed=4)[:10]:
+            runtime.update("svc", row)
+        detail = runtime.health_states(detail=True)["svc"]
+        assert detail["state"] is HealthState.HEALTHY
+        assert detail["updates"] == 10
+        assert detail["update_seconds"]["mean"] > 0.0
+        assert detail["update_seconds"]["p99"] >= detail["update_seconds"]["p50"]
+        assert detail["update_seconds"]["max"] >= detail["update_seconds"]["p99"]
+        assert detail["transitions"] == 0
+
+    def test_failed_update_still_counted(self):
+        """The latency histogram records even quarantined/fallback paths."""
+        runtime, registry = self._fresh_runtime()
+        _detector(runtime).fail = True
+        for row in _history(seed=5)[:12]:
+            runtime.update("svc", row)
+        histogram = registry.get("serving.update_seconds", service="svc")
+        assert histogram.count == 12

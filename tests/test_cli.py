@@ -89,3 +89,35 @@ class TestAnalysisCommands:
         err = capsys.readouterr().err
         assert "contract violation" in err
         assert "characterization.conv" in err
+
+
+class TestObsCommand:
+    def _run_dir(self, tmp_path):
+        from repro.obs.events import EventLog
+
+        with EventLog(tmp_path / "events.jsonl") as log:
+            log.emit("epoch", epoch=1, loss=0.5, grad_norm=1.0,
+                     seconds=0.2, nonfinite=0)
+        return tmp_path
+
+    def test_obs_report_renders(self, tmp_path, capsys):
+        directory = self._run_dir(tmp_path)
+        assert main(["obs", "report", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch timeline" in out
+
+    def test_obs_report_missing_dir(self, tmp_path, capsys):
+        code = main(["obs", "report", "--dir", str(tmp_path / "absent")])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
+
+    def test_train_fleet_parser_accepts_obs_flag(self):
+        args = build_parser().parse_args(
+            ["train-fleet", "--obs", "--dir", "/tmp/x"])
+        assert args.obs is True
+        args = build_parser().parse_args(["train-fleet"])
+        assert args.obs is False
