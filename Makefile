@@ -6,10 +6,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint analyze analyze-baseline test chaos chaos-train \
-        check-model obs-overhead help
+.PHONY: check lint analyze analyze-baseline plan-check plan-baseline \
+        test chaos chaos-train check-model obs-overhead help
 
-check: lint analyze test chaos chaos-train obs-overhead
+check: lint analyze plan-check test chaos chaos-train obs-overhead
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -21,6 +21,16 @@ analyze:
 
 analyze-baseline:
 	$(PYTHON) -m repro analyze --update-baseline --baseline analysis_baseline.json
+
+# Tape-to-plan compilation of every model graph: each plan must pass its
+# machine-checked legality proof, and the OPT4xx findings must match
+# plan_baseline.json *exactly* — new findings are unreviewed regressions,
+# missing findings are silent coverage loss.
+plan-check:
+	$(PYTHON) -m repro analyze --plan --baseline plan_baseline.json
+
+plan-baseline:
+	$(PYTHON) -m repro analyze --plan --update-baseline --baseline plan_baseline.json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +62,8 @@ help:
 	@echo "make lint             - repo linter (repro.analysis.lint)"
 	@echo "make analyze          - static model-graph analyzer vs committed baseline"
 	@echo "make analyze-baseline - re-accept current analyzer warnings"
+	@echo "make plan-check       - verified execution plans vs committed OPT4xx baseline"
+	@echo "make plan-baseline    - re-snapshot the expected OPT4xx findings"
 	@echo "make test             - pytest"
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
 	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"

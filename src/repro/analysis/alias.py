@@ -1,0 +1,191 @@
+"""Alias and escape analysis over a plan's step list.
+
+The buffer planner in :mod:`repro.analysis.liveness` must not recycle
+storage that is still reachable through a *view*: in this substrate
+``transpose`` is always a stride trick over its parent's buffer, and
+``reshape``/basic ``getitem`` may be (``repro.nn.opinfo.MEM_INFO`` records
+which).  This module groups steps into **storage groups** — equivalence
+classes of steps that may share one underlying buffer — and computes
+which groups **escape** (remain reachable after the graph finishes, i.e.
+feed an output, so their storage may never be recycled).
+
+All functions operate on any sequence of objects exposing ``op``,
+``kind``, ``parents`` (indices into the same sequence), and ``shape`` —
+both :class:`~repro.analysis.trace.GraphNode` lists and
+:class:`~repro.analysis.plan.PlanStep` lists qualify.
+
+Soundness direction: when NumPy *may* return either a view or a copy
+(``view == "maybe"``), the analysis assumes a view.  That can only merge
+storage groups that were in fact distinct — buffer reuse becomes more
+conservative, never less.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.nn.opinfo import mem_info
+
+__all__ = [
+    "MemCoverageError",
+    "storage_groups",
+    "escaping_groups",
+    "group_bytes",
+    "inplace_candidates",
+    "compose_perms",
+    "invert_perm",
+    "is_identity_perm",
+    "FLOAT64_BYTES",
+]
+
+FLOAT64_BYTES = 8
+
+
+class MemCoverageError(KeyError):
+    """An op has no ``MEM_INFO`` entry; alias reasoning would be unsound."""
+
+    def __init__(self, op: str):
+        super().__init__(op)
+        self.op = op
+
+    def __str__(self) -> str:
+        return (f"op '{self.op}' has no memory/alias metadata in "
+                "repro.nn.opinfo.MEM_INFO; register it before planning")
+
+
+def _require_mem(op: str):
+    info = mem_info(op)
+    if info is None:
+        raise MemCoverageError(op)
+    return info
+
+
+# ----------------------------------------------------------------------
+# Permutation algebra (used by the planner's transpose reasoning)
+# ----------------------------------------------------------------------
+
+def is_identity_perm(perm: Sequence[int]) -> bool:
+    return all(axis == position for position, axis in enumerate(perm))
+
+
+def compose_perms(first: Sequence[int], second: Sequence[int]) -> Tuple[int, ...]:
+    """Permutation equivalent to transposing by ``first`` then ``second``.
+
+    ``x.transpose(first).transpose(second) == x.transpose(compose)`` with
+    ``compose[i] = first[second[i]]`` (NumPy convention: ``out`` axis ``i``
+    is input axis ``perm[i]``).
+    """
+    return tuple(first[axis] for axis in second)
+
+
+def invert_perm(perm: Sequence[int]) -> Tuple[int, ...]:
+    inverse = [0] * len(perm)
+    for position, axis in enumerate(perm):
+        inverse[axis] = position
+    return tuple(inverse)
+
+
+# ----------------------------------------------------------------------
+# Storage groups (union-find over view edges)
+# ----------------------------------------------------------------------
+
+def storage_groups(steps: Sequence) -> List[int]:
+    """Map each step index to a storage-group id.
+
+    Two steps land in one group exactly when the output of one may alias
+    the storage of the other through a chain of (possible) view ops.
+    Group ids are the smallest member index, so leaves root their own
+    groups and a view inherits its ancestor's id.
+    """
+    parent_of: List[int] = list(range(len(steps)))
+
+    def find(i: int) -> int:
+        root = i
+        while parent_of[root] != root:
+            root = parent_of[root]
+        while parent_of[i] != root:  # path compression
+            parent_of[i], i = root, parent_of[i]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Keep the smaller index as the representative.
+            low, high = (ra, rb) if ra < rb else (rb, ra)
+            parent_of[high] = low
+
+    for index, step in enumerate(steps):
+        if getattr(step, "kind", "op") != "op":
+            continue
+        info = _require_mem(step.op)
+        if info.view in ("always", "maybe") and step.parents:
+            union(index, step.parents[0])
+
+    return [find(i) for i in range(len(steps))]
+
+
+def escaping_groups(steps: Sequence, outputs: Sequence[int],
+                    storage_of: Sequence[int]) -> Set[int]:
+    """Storage groups whose buffers stay reachable after execution.
+
+    Outputs escape by definition; leaves (inputs, params, consts) escape
+    because their storage is caller-owned — the executor must never write
+    into it or hand it to the reuse pool.
+    """
+    escaped: Set[int] = set()
+    for index in outputs:
+        escaped.add(storage_of[index])
+    for index, step in enumerate(steps):
+        if getattr(step, "kind", "op") != "op":
+            escaped.add(storage_of[index])
+    return escaped
+
+
+def group_bytes(steps: Sequence, storage_of: Sequence[int],
+                itemsize: int = FLOAT64_BYTES) -> Dict[int, int]:
+    """Bytes each storage group needs: the largest member's extent.
+
+    A view never outgrows the buffer it aliases in this substrate (no
+    negative-stride or overlapping tricks), so the max member size is the
+    buffer size.
+    """
+    sizes: Dict[int, int] = {}
+    for index, step in enumerate(steps):
+        count = 1
+        for dim in step.shape:
+            count *= int(dim)
+        group = storage_of[index]
+        sizes[group] = max(sizes.get(group, 0), count * itemsize)
+    return sizes
+
+
+def inplace_candidates(steps: Sequence, last_use: Sequence[int],
+                       storage_of: Sequence[int],
+                       escaped: Set[int]) -> List[Tuple[int, int]]:
+    """Pairs ``(step, parent)`` where the op may overwrite its input.
+
+    Requires: the op is declared ``inplace_safe``, the shapes match (no
+    broadcasting — a broadcast read would revisit positions already
+    overwritten), the parent's entire storage group dies at this step,
+    and that group does not escape.
+    """
+    group_last: Dict[int, int] = {}
+    for index in range(len(steps)):
+        group = storage_of[index]
+        group_last[group] = max(group_last.get(group, -1), last_use[index])
+
+    candidates: List[Tuple[int, int]] = []
+    for index, step in enumerate(steps):
+        if getattr(step, "kind", "op") != "op" or not step.parents:
+            continue
+        info = _require_mem(step.op)
+        if not info.inplace_safe:
+            continue
+        parent = step.parents[0]
+        if steps[parent].shape != step.shape:
+            continue
+        group = storage_of[parent]
+        if group in escaped or group_last[group] != index:
+            continue
+        candidates.append((index, parent))
+    return candidates

@@ -60,6 +60,15 @@ Rules
     (``repro.cli._out``); only the CLI layer — whose job *is* printing —
     carries the ``# noqa: REP109`` escape.
 
+``REP110`` ``np.empty`` / ``np.empty_like`` without immediate initialization
+    Uninitialized allocations read whatever bytes the allocator hands
+    back; any code path that skips an element silently computes on
+    garbage that *usually* looks plausible.  The allocation is accepted
+    only when the very next statement provably fills the whole array — a
+    subscript store into the same name (``buf[:] = ...``, ``buf[order] =
+    ...``) or ``buf.fill(value)``.  Loop-filled buffers should use
+    ``np.zeros`` or carry an explicit ``# noqa: REP110`` after review.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -88,6 +97,8 @@ RULES = {
     "REP108": "blocking concurrency call without an explicit timeout",
     "REP109": "bare print() in library code (use repro.obs.events or the "
               "CLI output helper)",
+    "REP110": "np.empty/np.empty_like not fully initialized by the next "
+              "statement",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -410,10 +421,76 @@ def _check_bare_print(tree: ast.AST, path: str, out: List[Violation]) -> None:
             ))
 
 
+def _is_np_empty_call(node: ast.expr) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("empty", "empty_like")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy"))
+
+
+def _fully_initializes(stmt: ast.stmt, name: str) -> bool:
+    """True when ``stmt`` provably writes the entire array bound to ``name``.
+
+    Accepted forms: a plain subscript store (``buf[:] = ...``,
+    ``buf[...] = ...``, ``buf[order] = ...`` — any single subscript
+    assignment, since the repo's idiom uses full-extent index arrays) and
+    ``buf.fill(value)``.  Augmented stores (``buf[:] += ...``) *read* the
+    uninitialized memory and are deliberately not accepted.
+    """
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        return (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == name)
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        return (isinstance(func, ast.Attribute) and func.attr == "fill"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name)
+    return False
+
+
+def _check_uninitialized_empty(tree: ast.AST, path: str,
+                               out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    flagged = {id(node): node for node in ast.walk(tree)
+               if _is_np_empty_call(node)}
+    if not flagged:
+        return
+    # Sanction ``buf = np.empty(...)`` immediately followed by a statement
+    # that fills ``buf`` completely; everything else stays flagged.
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            statements = getattr(node, field, None)
+            if not isinstance(statements, list):
+                continue
+            for position, stmt in enumerate(statements):
+                if not (isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and _is_np_empty_call(stmt.value)):
+                    continue
+                follower = (statements[position + 1]
+                            if position + 1 < len(statements) else None)
+                if follower is not None and _fully_initializes(
+                        follower, stmt.targets[0].id):
+                    flagged.pop(id(stmt.value), None)
+    for call in flagged.values():
+        out.append(Violation(
+            path, call.lineno, call.col_offset, "REP110",
+            f"np.{call.func.attr}() allocates uninitialized memory and the "
+            "next statement does not fully initialize it; use np.zeros, "
+            "fill immediately, or justify with # noqa: REP110",
+        ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
            _check_forward_without_contract, _check_blocking_without_timeout,
-           _check_bare_print)
+           _check_bare_print, _check_uninitialized_empty)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

@@ -1,0 +1,149 @@
+"""Liveness/lifetime analysis and buffer-reuse coloring for plan steps.
+
+Given a topologically ordered step list (the invariant both
+:class:`~repro.analysis.trace.Graph` and
+:class:`~repro.analysis.plan.ExecutionPlan` maintain), this pass
+computes per-step last-use points, then colors op outputs onto a small
+pool of reusable buffers with a greedy linear-scan over storage groups
+from :mod:`repro.analysis.alias`.  The result doubles as a peak-memory
+estimate: ``peak_live_bytes`` is what an executor that frees eagerly
+would need, ``pool_bytes`` is what the greedy coloring actually
+allocates, and ``naive_bytes`` is the tape's behaviour today (every op
+output materialized simultaneously).
+
+Views complicate both directions: a view keeps its whole storage group
+alive, so lifetimes are per-group, not per-step; and a view allocates
+nothing, so coloring assigns buffers to groups.  Leaf storage is
+caller-owned and excluded from the pool entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.alias import (
+    FLOAT64_BYTES,
+    escaping_groups,
+    group_bytes,
+    storage_groups,
+)
+
+__all__ = ["BufferAssignment", "last_uses", "analyze_liveness"]
+
+
+@dataclass
+class BufferAssignment:
+    """Result of the liveness + coloring pass over one step list."""
+
+    last_use: List[int]
+    storage_of: List[int]
+    escaped: Set[int] = field(default_factory=set)
+    # storage group id -> pooled buffer id (op groups only).
+    buffer_of: Dict[int, int] = field(default_factory=dict)
+    buffer_sizes: List[int] = field(default_factory=list)
+    peak_live_bytes: int = 0
+    pool_bytes: int = 0
+    naive_bytes: int = 0
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self.buffer_sizes)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "buffers": self.num_buffers,
+            "pool_bytes": self.pool_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
+            "naive_bytes": self.naive_bytes,
+        }
+
+
+def last_uses(steps: Sequence, outputs: Sequence[int]) -> List[int]:
+    """Index of the final consumer of each step.
+
+    Outputs (and any unconsumed step) stay live to the end of the
+    program: their last use is ``len(steps)``, a sentinel one past the
+    final step, so "dies at its own index" can never be confused with
+    "escapes".
+    """
+    horizon = len(steps)
+    last = [index for index in range(horizon)]
+    for index, step in enumerate(steps):
+        for parent in step.parents:
+            last[parent] = max(last[parent], index)
+    for index in outputs:
+        last[index] = horizon
+    return last
+
+
+def analyze_liveness(steps: Sequence, outputs: Sequence[int],
+                     itemsize: int = FLOAT64_BYTES) -> BufferAssignment:
+    """Compute lifetimes and a greedy first-fit buffer coloring."""
+    last = last_uses(steps, outputs)
+    storage_of = storage_groups(steps)
+    escaped = escaping_groups(steps, outputs, storage_of)
+    bytes_of = group_bytes(steps, storage_of, itemsize)
+
+    # Per-group birth (representative index — groups are rooted at their
+    # first member) and death (max last-use over members).
+    group_death: Dict[int, int] = {}
+    for index in range(len(steps)):
+        group = storage_of[index]
+        group_death[group] = max(group_death.get(group, -1), last[index])
+
+    result = BufferAssignment(last_use=last, storage_of=storage_of,
+                              escaped=escaped)
+
+    # Free pool: size -> buffer ids available for reuse.  First-fit with
+    # exact-size matching keeps the coloring deterministic and is a good
+    # fit here because MACE graphs recycle a handful of distinct shapes.
+    free: Dict[int, List[int]] = {}
+    buffer_sizes: List[int] = []
+    live_bytes = 0
+    peak = 0
+    naive = 0
+
+    # Groups that die at step i, to be released after i executes.
+    dying_at: Dict[int, List[int]] = {}
+    for group, death in group_death.items():
+        dying_at.setdefault(death, []).append(group)
+
+    for index, step in enumerate(steps):
+        group = storage_of[index]
+        if getattr(step, "kind", "op") == "op":
+            # The tape materializes every op output (views excepted — but
+            # counting them too is what today's executor pays when a
+            # "maybe" view copies, so charge each step its own extent).
+            count = 1
+            for dim in step.shape:
+                count *= int(dim)
+            naive += count * itemsize
+        # Allocation happens when the group's root materializes — i.e. at
+        # the representative step, for op-rooted groups only (leaf-rooted
+        # groups are caller memory).
+        is_root = group == index
+        root_is_op = getattr(steps[group], "kind", "op") == "op"
+        if is_root and root_is_op:
+            size = bytes_of[group]
+            live_bytes += size
+            peak = max(peak, live_bytes)
+            available = free.get(size)
+            if available and group not in escaped:
+                result.buffer_of[group] = available.pop()
+            else:
+                result.buffer_of[group] = len(buffer_sizes)
+                buffer_sizes.append(size)
+        for dead_group in dying_at.get(index, ()):
+            if getattr(steps[dead_group], "kind", "op") != "op":
+                continue
+            live_bytes -= bytes_of[dead_group]
+            if dead_group not in escaped:
+                buffer_id = result.buffer_of[dead_group]
+                free.setdefault(bytes_of[dead_group], []).append(buffer_id)
+
+    result.buffer_sizes = buffer_sizes
+    result.peak_live_bytes = peak
+    result.pool_bytes = sum(buffer_sizes)
+    result.naive_bytes = naive
+    return result

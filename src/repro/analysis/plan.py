@@ -1,0 +1,826 @@
+"""Tape-to-plan optimization: rewrite a traced graph into an ExecutionPlan.
+
+This is the compiler front-end the graph executor (ROADMAP: fused-kernel
+inference) consumes.  :func:`build_plan` takes a traced
+:class:`~repro.analysis.trace.Graph` and produces an
+:class:`ExecutionPlan` — a compacted, rewritten step list — plus a set of
+``OPT4xx`` findings describing both the rewrites it *applied* and the
+opportunities it can only *advise* on (those need an einsum-level executor
+to exploit):
+
+``OPT401`` redundant copy pair
+    Adjacent layout ops whose composition is at most one layout op.
+    Applied in op-space when provably bitwise-safe: ``transpose∘transpose``
+    fuses into one transpose (or cancels outright when the composed
+    permutation is the identity), ``reshape∘reshape`` over a
+    definitely-contiguous source fuses into one reshape, and identity
+    transposes/reshapes are dropped.  Advisory otherwise: a ``reshape``
+    whose input is a transpose view *forces a full copy* in NumPy — the
+    MACE amplifier and context-aware DFT hot spots from BENCH_obs.json —
+    and can only be eliminated by fusing the permutation into the adjacent
+    matmul/conv via ``einsum``.
+``OPT402`` dead subgraph
+    Op nodes unreachable (backwards) from any graph output; dropped.
+``OPT403`` fusable elementwise chain
+    A run of elementwise ops with single-consumer interior nodes; one
+    fused kernel pass (or absorption into an adjacent contraction) would
+    eliminate the intermediate materializations.
+``OPT404`` rematerializable workspace
+    A cheap elementwise result held live across many steps; recomputing it
+    at its last use would shrink peak memory.
+``OPT405`` cacheable constant
+    Large constant leaves (DFT basis, marker channels) rebuilt every call,
+    and constant-foldable op frontiers (``weight.abs()``) recomputed every
+    call; both are cacheable across calls.
+
+Every plan ships with a machine-checked :class:`LegalityProof`: the
+original graph and the rewritten plan are abstractly interpreted with the
+PR-3 interval domain (:func:`repro.analysis.dataflow.abstract_values`) and
+the plan is *refused* (:class:`PlanVerificationError`) unless every
+rewritten step's abstract value refines the original node's and all
+structural invariants (topological order, layout shape algebra, parent
+shape agreement with the source graph) hold.  The differential test
+harness additionally executes plans op-by-op (:func:`execute_plan`) and
+checks bitwise equality against the traced tape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.alias import (
+    MemCoverageError,
+    compose_perms,
+    is_identity_perm,
+)
+from repro.analysis.dataflow import Finding, _is_suppressed, abstract_values
+from repro.analysis.domains import Interval
+from repro.analysis.liveness import BufferAssignment, analyze_liveness
+from repro.analysis.trace import Graph
+from repro.nn.opinfo import Rule, mem_info
+
+__all__ = [
+    "OPT_RULES",
+    "PlanStep",
+    "Rewrite",
+    "LegalityProof",
+    "ExecutionPlan",
+    "PlanError",
+    "PlanVerificationError",
+    "build_plan",
+    "verify_plan",
+    "execute_plan",
+    "execute_graph_plan",
+    "bitwise_equal",
+    "REMAT_SPAN",
+    "CACHEABLE_MIN_ELEMENTS",
+]
+
+OPT_RULES: Dict[str, Rule] = {
+    "OPT401": Rule("redundant-copy-pair", "warn",
+                   "adjacent layout ops compose to at most one layout op"),
+    "OPT402": Rule("dead-subgraph", "warn",
+                   "op subgraph unreachable from any graph output"),
+    "OPT403": Rule("fusable-elementwise-chain", "warn",
+                   "elementwise chain could run as one fused kernel pass"),
+    "OPT404": Rule("rematerializable-workspace", "warn",
+                   "cheap result held live across many steps"),
+    "OPT405": Rule("cacheable-constant", "warn",
+                   "constant value rebuilt/recomputed on every call"),
+}
+
+# A workspace must stay live across at least this many steps before OPT404
+# considers rematerializing it worthwhile.
+REMAT_SPAN = 16
+# Constants below this element count are not worth a cache entry.
+CACHEABLE_MIN_ELEMENTS = 64
+
+_LAYOUT_OPS = frozenset({"transpose", "reshape"})
+_CONTRACTION_OPS = frozenset({"matmul", "conv1d", "conv_transpose1d"})
+
+
+class PlanError(RuntimeError):
+    """The planner could not produce a legal plan for this graph."""
+
+
+class PlanVerificationError(PlanError):
+    """A proposed rewrite's abstract semantics diverge from the original.
+
+    Raised by :func:`verify_plan`; a plan that raises here is *refused* —
+    :func:`build_plan` never returns an unverified plan unless explicitly
+    asked to (``verify=False``, tests only).
+    """
+
+
+@dataclass
+class PlanStep:
+    """One step of an :class:`ExecutionPlan` (mirrors ``GraphNode``)."""
+
+    index: int
+    kind: str               # "op" | "input" | "param" | "const"
+    op: str                 # "leaf" for non-op steps
+    shape: tuple
+    parents: Tuple[int, ...] = ()
+    attrs: Optional[dict] = None
+    origin: int = -1        # index of the source GraphNode
+    module_path: str = ""
+    name: Optional[str] = None
+    frames: tuple = ()
+    envelope: Optional[Interval] = None
+
+    def __repr__(self) -> str:
+        label = self.name or self.op
+        return f"PlanStep({self.index}<-{self.origin}, {self.kind}:{label})"
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One applied graph rewrite, quoted verbatim in the legality proof."""
+
+    kind: str               # e.g. "fuse-transpose-pair"
+    description: str
+    removed: Tuple[int, ...]     # original node indices eliminated
+    replacement: int             # original node index consumers now read
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "description": self.description,
+                "removed": list(self.removed),
+                "replacement": self.replacement}
+
+
+@dataclass
+class LegalityProof:
+    """Evidence that a plan's semantics match its source graph.
+
+    ``abstract_checked`` steps were interpreted in the interval domain and
+    each refined its origin node's value; ``structural_checked`` steps
+    passed the shape/topology invariants.  The proof quotes the rewrites
+    it covers so a stale proof cannot be attached to a different plan.
+    """
+
+    structural_checked: int
+    abstract_checked: int
+    rewrites_covered: int
+    output_intervals: List[Tuple[float, float, bool]] = field(
+        default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "structural_checked": self.structural_checked,
+            "abstract_checked": self.abstract_checked,
+            "rewrites_covered": self.rewrites_covered,
+            "output_intervals": [list(t) for t in self.output_intervals],
+        }
+
+
+@dataclass
+class ExecutionPlan:
+    """A verified, compacted, rewritten execution order for one graph."""
+
+    steps: List[PlanStep]
+    outputs: List[int]
+    rewrites: List[Rewrite]
+    memory: BufferAssignment
+    source_nodes: int
+    proof: Optional[LegalityProof] = None
+
+    @property
+    def num_ops(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "op")
+
+    def stats(self) -> Dict[str, int]:
+        stats = {
+            "source_nodes": self.source_nodes,
+            "steps": len(self.steps),
+            "ops": self.num_ops,
+            "rewrites": len(self.rewrites),
+            "verified": self.proof is not None,
+        }
+        stats.update(self.memory.stats())
+        return stats
+
+    def to_dict(self) -> dict:
+        return {
+            "stats": self.stats(),
+            "rewrites": [r.to_dict() for r in self.rewrites],
+            "proof": self.proof.to_dict() if self.proof else None,
+        }
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+
+def _finding(step, code: str, message: str) -> Finding:
+    rule = OPT_RULES[code]
+    filename, lineno = ("", 0)
+    if step.frames:
+        filename, lineno = step.frames[0][0], step.frames[0][1]
+    return Finding(
+        rule=code,
+        severity=rule.severity,
+        message=message,
+        op=step.op,
+        node_index=getattr(step, "origin", getattr(step, "index", -1)),
+        module_path=step.module_path,
+        file=filename,
+        line=lineno,
+        suppressed=bool(step.frames) and _is_suppressed(step),
+        frames=step.frames,
+        rule_name=rule.name,
+    )
+
+
+def _require_mem_coverage(nodes) -> None:
+    for node in nodes:
+        if node.kind == "op" and mem_info(node.op) is None:
+            raise MemCoverageError(node.op)
+
+
+def _shape_elements(shape: tuple) -> int:
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return count
+
+
+def _definitely_contiguous(steps: Sequence[PlanStep], index: int,
+                           alive: Sequence[bool]) -> bool:
+    """Conservatively prove a step's concrete array is C-contiguous.
+
+    Fresh allocations (``view == "never"``) are C-contiguous in this
+    substrate; a reshape of a contiguous array is a contiguous view.
+    Everything else — leaves (caller-controlled strides), transposes,
+    basic indexing — is treated as possibly non-contiguous, which only
+    suppresses rewrites, never enables them.
+    """
+    step = steps[index]
+    if step.kind != "op" or not alive[index]:
+        return False
+    info = mem_info(step.op)
+    if info is not None and info.view == "never":
+        return True
+    if step.op == "reshape":
+        return _definitely_contiguous(steps, step.parents[0], alive)
+    return False
+
+
+def _copy_steps(graph: Graph) -> List[PlanStep]:
+    steps = []
+    for node in graph.nodes:
+        attrs = dict(node.attrs) if node.attrs else None
+        steps.append(PlanStep(
+            index=node.index, kind=node.kind, op=node.op, shape=node.shape,
+            parents=tuple(node.parents), attrs=attrs, origin=node.index,
+            module_path=node.module_path, name=node.name, frames=node.frames,
+            envelope=node.envelope,
+        ))
+    return steps
+
+
+def _reachable(steps: Sequence[PlanStep], roots: Sequence[int]) -> List[bool]:
+    alive = [False] * len(steps)
+    stack = list(roots)
+    while stack:
+        index = stack.pop()
+        if alive[index]:
+            continue
+        alive[index] = True
+        stack.extend(steps[index].parents)
+    return alive
+
+
+def _location(step: PlanStep) -> str:
+    if step.frames:
+        return f"{step.frames[0][0]}:{step.frames[0][1]}"
+    return "<graph>"
+
+
+def build_plan(graph: Graph, envelope: float = 1e3, verify: bool = True
+               ) -> Tuple[ExecutionPlan, List[Finding]]:
+    """Rewrite ``graph`` into a verified :class:`ExecutionPlan`.
+
+    Returns ``(plan, findings)``.  Raises :class:`MemCoverageError` when a
+    traced op lacks ``MEM_INFO`` metadata (the planner refuses to reason
+    about ops with unknown aliasing) and :class:`PlanVerificationError`
+    when a rewrite fails the abstract-interpretation legality check —
+    unverified plans are never returned unless ``verify=False``.
+    """
+    _require_mem_coverage(graph.nodes)
+    steps = _copy_steps(graph)
+    findings: List[Finding] = []
+    rewrites: List[Rewrite] = []
+
+    # -- pass 1: dead-subgraph elimination (OPT402) --------------------
+    alive = _reachable(steps, graph.outputs)
+    dead_ops = [s for s in steps if s.kind == "op" and not alive[s.index]]
+    if dead_ops:
+        consumed: Set[int] = set()
+        for step in steps:
+            if not alive[step.index]:
+                consumed.update(step.parents)
+        for step in dead_ops:
+            if step.index in consumed:
+                continue  # interior of a dead region; report sinks only
+            region = sum(1 for d in dead_ops
+                         if d.index in graph.ancestors(step.index))
+            findings.append(_finding(
+                step, "OPT402",
+                f"op '{step.op}' and {region - 1} upstream op(s) feed no "
+                "graph output; the planner drops the whole subgraph",
+            ))
+            rewrites.append(Rewrite(
+                "drop-dead-subgraph",
+                f"dropped dead subgraph rooted at node {step.index} "
+                f"({step.op})", (step.index,), -1))
+
+    # -- pass 2: layout-pair rewriting to fixpoint (OPT401, applied) ---
+    redirect = list(range(len(steps)))
+
+    def resolve(index: int) -> int:
+        while redirect[index] != index:
+            index = redirect[index]
+        return index
+
+    changed = True
+    while changed:
+        changed = False
+        for step in steps:
+            if not alive[step.index] or step.kind != "op":
+                continue
+            resolved = tuple(resolve(p) for p in step.parents)
+            if resolved != step.parents:
+                step.parents = resolved
+            if step.op not in _LAYOUT_OPS:
+                continue
+            parent = steps[step.parents[0]]
+            if step.op == "transpose":
+                if parent.kind == "op" and parent.op == "transpose":
+                    composed = compose_perms(parent.attrs["axes"],
+                                             step.attrs["axes"])
+                    step.attrs = {"axes": composed}
+                    step.parents = (parent.parents[0],)
+                    rewrites.append(Rewrite(
+                        "fuse-transpose-pair",
+                        f"transpose(transpose(·, {parent.attrs['axes']}), "
+                        f"...) fused to axes {composed}",
+                        (parent.index,), parent.parents[0]))
+                    findings.append(_finding(
+                        step, "OPT401",
+                        "transpose pair composes to a single permutation "
+                        f"{composed}; fused (applied rewrite)"))
+                    changed = True
+                    parent = steps[step.parents[0]]
+                if is_identity_perm(step.attrs["axes"]):
+                    redirect[step.index] = step.parents[0]
+                    alive[step.index] = False
+                    rewrites.append(Rewrite(
+                        "drop-identity-transpose",
+                        f"identity transpose at node {step.index} removed",
+                        (step.index,), step.parents[0]))
+                    findings.append(_finding(
+                        step, "OPT401",
+                        "transpose composes to the identity permutation; "
+                        "eliminated (applied rewrite)"))
+                    changed = True
+            elif step.op == "reshape":
+                if (parent.kind == "op" and parent.op == "reshape"
+                        and _definitely_contiguous(steps, parent.parents[0],
+                                                   alive)):
+                    step.parents = (parent.parents[0],)
+                    rewrites.append(Rewrite(
+                        "fuse-reshape-pair",
+                        f"reshape(reshape(·, {parent.shape}), {step.shape}) "
+                        f"fused to one reshape", (parent.index,),
+                        parent.parents[0]))
+                    findings.append(_finding(
+                        step, "OPT401",
+                        f"reshape pair {parent.shape} -> {step.shape} over a "
+                        "contiguous source fused into one reshape (applied "
+                        "rewrite)"))
+                    changed = True
+                    parent = steps[step.parents[0]]
+                if (step.shape == parent.shape
+                        and _definitely_contiguous(steps, step.parents[0],
+                                                   alive)):
+                    redirect[step.index] = step.parents[0]
+                    alive[step.index] = False
+                    rewrites.append(Rewrite(
+                        "drop-identity-reshape",
+                        f"identity reshape at node {step.index} removed",
+                        (step.index,), step.parents[0]))
+                    findings.append(_finding(
+                        step, "OPT401",
+                        "reshape to the input's own shape over a contiguous "
+                        "source; eliminated (applied rewrite)"))
+                    changed = True
+        if changed:
+            # Inner layout nodes whose only consumer was rewritten away
+            # are now dead; recompute reachability from resolved outputs.
+            resolved_outputs = [resolve(i) for i in graph.outputs]
+            reachable = _reachable(steps, resolved_outputs)
+            for step in steps:
+                if alive[step.index] and not reachable[step.index]:
+                    alive[step.index] = False
+
+    resolved_outputs = [resolve(i) for i in graph.outputs]
+
+    # -- compaction ----------------------------------------------------
+    keep = [s.index for s in steps if alive[s.index]]
+    remap = {old: new for new, old in enumerate(keep)}
+    plan_steps: List[PlanStep] = []
+    for new_index, old in enumerate(keep):
+        step = steps[old]
+        step.index = new_index
+        step.parents = tuple(remap[resolve(p)] for p in step.parents)
+        plan_steps.append(step)
+    outputs = [remap[i] for i in resolved_outputs]
+
+    # -- advisory findings over the final plan -------------------------
+    findings.extend(_advise_copy_pairs(plan_steps))
+    findings.extend(_advise_elementwise_chains(plan_steps))
+    memory = analyze_liveness(plan_steps, outputs)
+    findings.extend(_advise_rematerializable(plan_steps, memory))
+    findings.extend(_advise_cacheable_constants(plan_steps))
+
+    plan = ExecutionPlan(
+        steps=plan_steps, outputs=outputs, rewrites=rewrites,
+        memory=memory, source_nodes=len(graph.nodes),
+    )
+    if verify:
+        plan.proof = verify_plan(graph, plan, envelope=envelope)
+    return plan, findings
+
+
+# ----------------------------------------------------------------------
+# Advisory passes
+# ----------------------------------------------------------------------
+
+def _advise_copy_pairs(steps: Sequence[PlanStep]) -> List[Finding]:
+    """OPT401 (advisory): reshapes that force a copy of a view parent."""
+    findings = []
+    for step in steps:
+        if step.kind != "op" or step.op != "reshape":
+            continue
+        parent = steps[step.parents[0]]
+        if parent.kind != "op":
+            continue
+        view = mem_info(parent.op).view
+        if parent.op == "transpose":
+            nbytes = _shape_elements(step.shape) * 8
+            findings.append(_finding(
+                step, "OPT401",
+                f"reshape of a transpose view forces a full copy "
+                f"({nbytes} bytes per call); fuse the permutation into the "
+                "adjacent contraction via einsum (transpose at "
+                f"{_location(parent)})"))
+        elif view == "maybe" and parent.op == "getitem":
+            findings.append(_finding(
+                step, "OPT401",
+                "reshape of a basic-indexing view may force a copy; "
+                "consider slicing after the reshape or fusing into the "
+                f"adjacent op (getitem at {_location(parent)})"))
+    return findings
+
+
+def _advise_elementwise_chains(steps: Sequence[PlanStep]) -> List[Finding]:
+    """OPT403: maximal elementwise chains with single-consumer interiors."""
+    consumers: Dict[int, List[int]] = {}
+    for step in steps:
+        for parent in step.parents:
+            consumers.setdefault(parent, []).append(step.index)
+
+    def elementwise(step: PlanStep) -> bool:
+        if step.kind != "op":
+            return False
+        info = mem_info(step.op)
+        return info is not None and info.elementwise
+
+    findings = []
+    in_chain: Set[int] = set()
+    for step in steps:
+        if step.index in in_chain or not elementwise(step):
+            continue
+        # Only start a chain at a head: no elementwise parent that would
+        # extend the chain backwards through a single-consumer link.
+        if any(elementwise(steps[p]) and len(consumers.get(p, ())) == 1
+               for p in step.parents):
+            continue
+        chain = [step.index]
+        current = step
+        while len(consumers.get(current.index, ())) == 1:
+            nxt = steps[consumers[current.index][0]]
+            if not elementwise(nxt):
+                break
+            chain.append(nxt.index)
+            current = nxt
+        if len(chain) < 2:
+            continue
+        in_chain.update(chain)
+        ops = [steps[i].op for i in chain]
+        neighbors = {steps[p].op for p in steps[chain[0]].parents}
+        neighbors.update(steps[c].op for c in consumers.get(chain[-1], ()))
+        contraction = sorted(neighbors & _CONTRACTION_OPS)
+        hint = (f"; absorbable into adjacent {'/'.join(contraction)} via "
+                "einsum" if contraction else "")
+        findings.append(_finding(
+            steps[chain[0]], "OPT403",
+            f"chain of {len(chain)} elementwise ops ({' -> '.join(ops)}) "
+            f"materializes {len(chain) - 1} intermediate buffer(s); one "
+            f"fused kernel pass would eliminate them{hint}"))
+    return findings
+
+
+def _advise_rematerializable(steps: Sequence[PlanStep],
+                             memory: BufferAssignment) -> List[Finding]:
+    """OPT404: cheap elementwise results pinned live across many steps."""
+    findings = []
+    for step in steps:
+        if step.kind != "op":
+            continue
+        info = mem_info(step.op)
+        if info is None or not info.elementwise:
+            continue
+        span = memory.last_use[step.index] - step.index
+        if span <= REMAT_SPAN or memory.last_use[step.index] >= len(steps):
+            continue  # escaping outputs must stay materialized anyway
+        nbytes = _shape_elements(step.shape) * 8
+        findings.append(_finding(
+            step, "OPT404",
+            f"elementwise '{step.op}' result ({nbytes} bytes) stays live "
+            f"for {span} steps; rematerializing at its last use would "
+            "release the workspace early"))
+    return findings
+
+
+def _advise_cacheable_constants(steps: Sequence[PlanStep]) -> List[Finding]:
+    """OPT405: large const leaves and constant-foldable op frontiers."""
+    findings = []
+    constant = [False] * len(steps)
+    for step in steps:
+        if step.kind in ("const", "param"):
+            constant[step.index] = True
+        elif step.kind == "op" and step.parents:
+            constant[step.index] = all(constant[p] for p in step.parents)
+    consumers: Dict[int, List[int]] = {}
+    for step in steps:
+        for parent in step.parents:
+            consumers.setdefault(parent, []).append(step.index)
+    for step in steps:
+        if _shape_elements(step.shape) < CACHEABLE_MIN_ELEMENTS:
+            continue
+        if step.kind == "const":
+            findings.append(_finding(
+                step, "OPT405",
+                f"constant leaf of shape {step.shape} is rebuilt and "
+                "re-read every call (e.g. DFT basis / marker channels); "
+                "cache it across calls"))
+        elif (step.kind == "op" and constant[step.index]
+              and any(not constant[c] for c in consumers.get(step.index, ()))):
+            findings.append(_finding(
+                step, "OPT405",
+                f"op '{step.op}' depends only on parameters/constants; "
+                "its result is recomputed every call and can be cached "
+                "until the parameters change"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Verifier
+# ----------------------------------------------------------------------
+
+def _check_structure(graph: Graph, plan: ExecutionPlan) -> int:
+    checked = 0
+    for step in plan.steps:
+        if step.index != checked:
+            raise PlanVerificationError(
+                f"plan step indices are not dense at {step.index}")
+        for parent in step.parents:
+            if not 0 <= parent < step.index:
+                raise PlanVerificationError(
+                    f"step {step.index} ({step.op}) consumes step {parent}; "
+                    "plan is not topologically ordered")
+        if step.kind == "op":
+            if mem_info(step.op) is None:
+                raise PlanVerificationError(
+                    f"step {step.index} op '{step.op}' has no MEM_INFO "
+                    "metadata")
+            origin = graph.nodes[step.origin]
+            if step.shape != origin.shape:
+                raise PlanVerificationError(
+                    f"step {step.index} ({step.op}) shape {step.shape} "
+                    f"differs from origin node shape {origin.shape}")
+            if step.op not in _LAYOUT_OPS:
+                # Non-layout ops may only have had same-shaped ancestors
+                # substituted (identity-layout removal); layout ops instead
+                # satisfy the op-specific shape algebra below, since fusion
+                # intentionally rewires them past differently-shaped
+                # intermediates.
+                parent_shapes = tuple(plan.steps[p].shape
+                                      for p in step.parents)
+                origin_shapes = tuple(graph.nodes[p].shape
+                                      for p in origin.parents)
+                if parent_shapes != origin_shapes:
+                    raise PlanVerificationError(
+                        f"step {step.index} ({step.op}) parent shapes "
+                        f"{parent_shapes} differ from the original op's "
+                        f"{origin_shapes}; a rewrite substituted a value of "
+                        "a different shape")
+            if step.op == "transpose":
+                axes = step.attrs["axes"]
+                source = plan.steps[step.parents[0]].shape
+                expected = tuple(source[a] for a in axes)
+                if expected != step.shape:
+                    raise PlanVerificationError(
+                        f"step {step.index} transpose axes {axes} of "
+                        f"{source} give {expected}, not {step.shape}")
+            elif step.op == "reshape":
+                source = plan.steps[step.parents[0]].shape
+                if _shape_elements(source) != _shape_elements(step.shape):
+                    raise PlanVerificationError(
+                        f"step {step.index} reshape {source} -> "
+                        f"{step.shape} changes the element count")
+        checked += 1
+    for position, output in enumerate(plan.outputs):
+        expected = graph.nodes[graph.outputs[position]].shape
+        if plan.steps[output].shape != expected:
+            raise PlanVerificationError(
+                f"plan output {position} has shape "
+                f"{plan.steps[output].shape}, graph output has {expected}")
+    return checked
+
+
+def verify_plan(graph: Graph, plan: ExecutionPlan,
+                envelope: float = 1e3) -> LegalityProof:
+    """Machine-check a plan against its source graph; raise on divergence.
+
+    Structural pass: dense indices, topological order, layout-op shape
+    algebra, and parent-shape agreement with the source graph (a rewrite
+    may only substitute same-shaped, same-valued ancestors).  Abstract
+    pass: both step lists are interpreted with the interval×finiteness
+    domain; every plan step's value must *refine* its origin node's value
+    (rewrites can merge identical subexpressions and thereby gain
+    precision, but any widening means the rewrite changed semantics).
+    """
+    if len(plan.outputs) != len(graph.outputs):
+        raise PlanVerificationError(
+            f"plan has {len(plan.outputs)} outputs, graph has "
+            f"{len(graph.outputs)}")
+    structural = _check_structure(graph, plan)
+    graph_values = abstract_values(graph.nodes, envelope)
+    plan_values = abstract_values(plan.steps, envelope)
+    abstract_checked = 0
+    for step in plan.steps:
+        if step.origin < 0:
+            continue
+        original = graph_values[step.origin]
+        rewritten = plan_values[step.index]
+        if not original.contains(rewritten):
+            raise PlanVerificationError(
+                f"abstract semantics diverge at step {step.index} "
+                f"({step.kind}:{step.op}, origin node {step.origin}): "
+                f"graph {original} does not contain plan {rewritten}")
+        abstract_checked += 1
+    output_intervals = [
+        (plan_values[i].lo, plan_values[i].hi, plan_values[i].may_nan)
+        for i in plan.outputs
+    ]
+    return LegalityProof(
+        structural_checked=structural,
+        abstract_checked=abstract_checked,
+        rewrites_covered=len(plan.rewrites),
+        output_intervals=output_intervals,
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan execution (op-by-op replay, used by the differential harness)
+# ----------------------------------------------------------------------
+
+def _eval_conv(fn) -> Callable:
+    def run(step: PlanStep, parents: list):
+        bias = parents[2] if len(parents) == 3 else None
+        return fn(parents[0], parents[1], bias,
+                  stride=step.attrs["stride"], padding=step.attrs["padding"])
+    return run
+
+
+def _evaluators() -> Dict[str, Callable]:
+    import importlib
+
+    # ``repro.nn`` star-exports a ``tensor()`` factory that shadows the
+    # ``repro.nn.tensor`` submodule attribute, so import via the registry.
+    F = importlib.import_module("repro.nn.functional")
+    T = importlib.import_module("repro.nn.tensor")
+
+    return {
+        "add": lambda s, p: p[0] + p[1],
+        "sub": lambda s, p: p[0] - p[1],
+        "mul": lambda s, p: p[0] * p[1],
+        "div": lambda s, p: p[0] / p[1],
+        "neg": lambda s, p: -p[0],
+        "pow": lambda s, p: p[0] ** s.attrs["exponent"],
+        "matmul": lambda s, p: p[0] @ p[1],
+        "exp": lambda s, p: p[0].exp(),
+        "log": lambda s, p: p[0].log(),
+        "sqrt": lambda s, p: p[0].sqrt(),
+        "abs": lambda s, p: p[0].abs(),
+        "tanh": lambda s, p: p[0].tanh(),
+        "sigmoid": lambda s, p: p[0].sigmoid(),
+        "relu": lambda s, p: p[0].relu(),
+        "clip": lambda s, p: p[0].clip(s.attrs["low"], s.attrs["high"]),
+        "sum": lambda s, p: p[0].sum(axis=s.attrs["axis"],
+                                     keepdims=s.attrs["keepdims"]),
+        "max": lambda s, p: p[0].max(axis=s.attrs["axis"],
+                                     keepdims=s.attrs["keepdims"]),
+        "min": lambda s, p: p[0].min(axis=s.attrs["axis"],
+                                     keepdims=s.attrs["keepdims"]),
+        "reshape": lambda s, p: p[0].reshape(s.attrs["shape"]),
+        "transpose": lambda s, p: p[0].transpose(s.attrs["axes"]),
+        "getitem": lambda s, p: p[0][s.attrs["key"]],
+        "broadcast": lambda s, p: p[0].broadcast_to(s.attrs["shape"]),
+        "concat": lambda s, p: T.concatenate(p, axis=s.attrs["axis"]),
+        "stack": lambda s, p: T.stack(p, axis=s.attrs["axis"]),
+        "where": lambda s, p: T.where(s.attrs["cond"], p[0], p[1]),
+        "maximum": lambda s, p: T.where(s.attrs["cond"], p[0], p[1]),
+        "minimum": lambda s, p: T.where(s.attrs["cond"], p[0], p[1]),
+        "odd_power": lambda s, p: T.odd_power(p[0], s.attrs["gamma"]),
+        "odd_root": lambda s, p: T.odd_root(p[0], s.attrs["gamma"],
+                                            s.attrs["eps"]),
+        "pad1d": lambda s, p: T.pad1d(p[0], s.attrs["left"],
+                                      s.attrs["right"], s.attrs["value"]),
+        "conv1d": _eval_conv(F.conv1d),
+        "conv_transpose1d": _eval_conv(F.conv_transpose1d),
+        "avg_pool1d": lambda s, p: F.avg_pool1d(p[0], s.attrs["kernel"],
+                                                s.attrs["stride"]),
+        "max_pool1d": lambda s, p: F.max_pool1d(p[0], s.attrs["kernel"],
+                                                s.attrs["stride"]),
+    }
+
+
+_EVALUATORS: Optional[Dict[str, Callable]] = None
+
+
+def execute_plan(plan: ExecutionPlan, leaves: Dict[int, np.ndarray],
+                 return_all: bool = False):
+    """Execute a plan op-by-op from concrete leaf arrays.
+
+    ``leaves`` maps plan step index -> array for every non-op step.
+    Returns the list of output arrays (or, with ``return_all``, every
+    step's array).  Replays the exact NumPy code paths of the tape (the
+    ``Tensor`` ops themselves, under ``no_grad``), so an unrewritten plan
+    is bitwise-identical to the traced run by construction and the
+    differential harness isolates the effect of the *rewrites*.
+    """
+    global _EVALUATORS
+    if _EVALUATORS is None:
+        _EVALUATORS = _evaluators()
+    from repro.nn.autograd import no_grad
+    from repro.nn.tensor import Tensor
+
+    values: List[Tensor] = []
+    with no_grad():
+        for step in plan.steps:
+            if step.kind != "op":
+                if step.index not in leaves:
+                    raise PlanError(
+                        f"no concrete value for leaf step {step.index} "
+                        f"({step.kind}:{step.name})")
+                values.append(Tensor(leaves[step.index]))
+                continue
+            evaluator = _EVALUATORS.get(step.op)
+            if evaluator is None:
+                raise PlanError(f"no evaluator for op '{step.op}'")
+            parents = [values[p] for p in step.parents]
+            values.append(evaluator(step, parents))
+    if return_all:
+        return [v.data for v in values]
+    return [values[i].data for i in plan.outputs]
+
+
+def execute_graph_plan(plan: ExecutionPlan, graph: Graph,
+                       return_all: bool = False):
+    """Execute a plan using the leaf values captured by its source trace."""
+    leaves: Dict[int, np.ndarray] = {}
+    for step in plan.steps:
+        if step.kind == "op":
+            continue
+        concrete = graph.concrete(step.origin)
+        if concrete is None:
+            raise PlanError(
+                f"source graph has no concrete value for leaf node "
+                f"{step.origin}")
+        leaves[step.index] = concrete
+    return execute_plan(plan, leaves, return_all=return_all)
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact bit-level equality (NaN == NaN, -0.0 != 0.0 distinctions)."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    return (np.ascontiguousarray(a).tobytes()
+            == np.ascontiguousarray(b).tobytes())

@@ -88,6 +88,8 @@ class Graph:
         # id(tensor) -> node index; valid while _keepalive pins the tensors.
         self.tensor_index: Dict[int, int] = {}
         self._keepalive: List[Tensor] = []
+        # node index -> tensor, for replaying leaves with traced values.
+        self._node_tensor: Dict[int, Tensor] = {}
 
     def add(self, node: GraphNode) -> GraphNode:
         self.nodes.append(node)
@@ -107,6 +109,16 @@ class Graph:
             for parent in node.parents:
                 counts[parent] += 1
         return counts
+
+    def concrete(self, index: int):
+        """Concrete traced array of node ``index`` (``None`` if unknown).
+
+        Valid for the lifetime of the graph: ``_keepalive`` pins every
+        traced tensor, so the returned array is exactly the one the
+        original run produced.
+        """
+        tensor = self._node_tensor.get(index)
+        return tensor.data if tensor is not None else None
 
     def ancestors(self, index: int) -> Set[int]:
         """All node indices reachable backwards from ``index`` (inclusive)."""
@@ -130,6 +142,72 @@ def _capture_frames() -> tuple:
             frames.append((filename, frame.f_lineno, frame.f_code.co_name))
         frame = frame.f_back
     return tuple(frames)
+
+
+# ----------------------------------------------------------------------
+# Module.__call__ patch manager
+#
+# ``trace`` needs to know which module is executing when an op fires, so
+# it instruments ``Module.__call__``.  Patching per-trace is unsafe under
+# re-entrancy: when a traced computation itself calls ``trace`` (or a
+# traced module drives another traced module), naive save/restore stacks
+# wrapper-over-wrapper and an out-of-order exit can resurrect a stale
+# wrapper as the "original".  Instead a single module-level wrapper is
+# installed once, every active trace registers itself here, and the
+# pristine ``Module.__call__`` is restored exactly when the last trace
+# exits.
+# ----------------------------------------------------------------------
+
+_ACTIVE_TRACERS: List["_ModulePathTracker"] = []
+_ORIGINAL_CALL: Optional[Callable] = None
+
+
+class _ModulePathTracker:
+    """Per-trace stack of dotted module paths, fed by the shared wrapper."""
+
+    __slots__ = ("module_paths", "path_stack")
+
+    def __init__(self, module_paths: Dict[int, str]):
+        self.module_paths = module_paths
+        self.path_stack: List[str] = []
+
+    def current_path(self) -> str:
+        return self.path_stack[-1] if self.path_stack else ""
+
+
+def _patched_call(self, *args, **kwargs):
+    # Snapshot: a module called *during* this call must not see trackers
+    # registered midway through it.
+    trackers = tuple(_ACTIVE_TRACERS)
+    for tracker in trackers:
+        tracker.path_stack.append(
+            tracker.module_paths.get(id(self), type(self).__name__))
+    try:
+        return _ORIGINAL_CALL(self, *args, **kwargs)
+    finally:
+        for tracker in reversed(trackers):
+            tracker.path_stack.pop()
+
+
+def _enter_trace(tracker: "_ModulePathTracker") -> None:
+    global _ORIGINAL_CALL
+    if _ORIGINAL_CALL is None:
+        _ORIGINAL_CALL = Module.__call__
+        Module.__call__ = _patched_call
+    _ACTIVE_TRACERS.append(tracker)
+
+
+def _exit_trace(tracker: "_ModulePathTracker") -> None:
+    global _ORIGINAL_CALL
+    _ACTIVE_TRACERS.remove(tracker)
+    if not _ACTIVE_TRACERS and _ORIGINAL_CALL is not None:
+        # Restore only our own wrapper; if third-party code patched
+        # ``__call__`` on top of us, clobbering it would be worse than
+        # leaving the (now pass-through) wrapper installed — it still
+        # needs ``_ORIGINAL_CALL``, so keep that set in the rare case.
+        if Module.__call__ is _patched_call:
+            Module.__call__ = _ORIGINAL_CALL
+            _ORIGINAL_CALL = None
 
 
 def _module_paths(root: Module) -> Dict[int, str]:
@@ -171,18 +249,8 @@ def trace(fn: Callable[[], object], inputs: Sequence[Tensor] = (),
         param_names = {id(p): name for name, p in module.named_parameters()}
         module_paths = _module_paths(module)
 
-    path_stack: List[str] = []
-    original_call = Module.__call__
-
-    def patched_call(self, *args, **kwargs):
-        path_stack.append(module_paths.get(id(self), type(self).__name__))
-        try:
-            return original_call(self, *args, **kwargs)
-        finally:
-            path_stack.pop()
-
-    def current_path() -> str:
-        return path_stack[-1] if path_stack else ""
+    tracker = _ModulePathTracker(module_paths)
+    current_path = tracker.current_path
 
     def make_leaf(t: Tensor) -> GraphNode:
         if id(t) in input_ids:
@@ -198,6 +266,7 @@ def trace(fn: Callable[[], object], inputs: Sequence[Tensor] = (),
             module_path=current_path(), name=name, envelope=envelope,
         ))
         graph.tensor_index[id(t)] = node.index
+        graph._node_tensor[node.index] = t
         graph._keepalive.append(t)
         return node
 
@@ -213,14 +282,15 @@ def trace(fn: Callable[[], object], inputs: Sequence[Tensor] = (),
             module_path=current_path(), frames=_capture_frames(),
         ))
         graph.tensor_index[id(out)] = node.index
+        graph._node_tensor[node.index] = out
         graph._keepalive.append(out)
 
     register_op_hook(hook)
-    Module.__call__ = patched_call
+    _enter_trace(tracker)
     try:
         result = fn()
     finally:
-        Module.__call__ = original_call
+        _exit_trace(tracker)
         unregister_op_hook(hook)
 
     returned = result if isinstance(result, tuple) else (result,)

@@ -88,7 +88,8 @@ class JumpStarterDetector(AnomalyDetector):
         if series.ndim == 1:
             series = series[:, None]
         windows = sliding_windows(series, self.window, self.score_stride)
-        errors = np.empty((windows.shape[0], self.window))
+        errors = np.empty(  # noqa: REP110 - loop writes every row once
+            (windows.shape[0], self.window))
         for row, window_values in enumerate(windows):
             rows = self._sample_rows(window_values)
             coeffs, *_ = np.linalg.lstsq(synthesis[rows], window_values[rows],

@@ -48,7 +48,7 @@ def dualistic_conv_numpy(x: np.ndarray, gamma: int, sigma: float,
     kernel = np.asarray(kernel, dtype=float)
     powered = np.sign(x) * np.abs(x) ** gamma / sigma
     length = x.size - kernel.size + 1
-    out = np.empty((length - 1) // stride + 1)
+    out = np.empty((length - 1) // stride + 1)  # noqa: REP110 - loop writes every element once
     for row, start in enumerate(range(0, length, stride)):
         value = float(powered[start:start + kernel.size] @ kernel)
         out[row] = np.sign(value) * np.abs(value) ** (1.0 / gamma)

@@ -92,7 +92,7 @@ class ArNoise:
 
     def sample(self, length: int, rng: np.random.Generator) -> np.ndarray:
         shocks = rng.normal(0.0, self.sigma, size=length)
-        noise = np.empty(length)
+        noise = np.empty(length)  # noqa: REP110 - recurrence writes every element once
         previous = 0.0
         for index in range(length):
             previous = self.phi * previous + shocks[index]

@@ -158,7 +158,8 @@ def avg_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
             grad_x[..., positions + k] += share
         x._accumulate(grad_x)
 
-    return Tensor._from_op(out, (x,), backward, "avg_pool1d")
+    return Tensor._from_op(out, (x,), backward, "avg_pool1d",
+                           attrs={"kernel": int(kernel), "stride": int(stride)})
 
 
 def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
@@ -184,7 +185,8 @@ def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         )
         x._accumulate(grad_x)
 
-    return Tensor._from_op(out, (x,), backward, "max_pool1d")
+    return Tensor._from_op(out, (x,), backward, "max_pool1d",
+                           attrs={"kernel": int(kernel), "stride": int(stride)})
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:

@@ -467,7 +467,8 @@ class Tensor:
                 expanded = np.expand_dims(grad, axis=axis)
             self._accumulate(np.broadcast_to(expanded, self.shape).copy())
 
-        return Tensor._from_op(np.asarray(data), (self,), backward, "sum")
+        return Tensor._from_op(np.asarray(data), (self,), backward, "sum",
+                               attrs={"axis": axis, "keepdims": bool(keepdims)})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else np.prod(
@@ -494,7 +495,8 @@ class Tensor:
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             self._accumulate(mask * expanded_grad / counts)
 
-        return Tensor._from_op(np.asarray(data), (self,), backward, op_name)
+        return Tensor._from_op(np.asarray(data), (self,), backward, op_name,
+                               attrs={"axis": axis, "keepdims": bool(keepdims)})
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         """Maximum reduction; ties share the gradient evenly."""
@@ -517,7 +519,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._from_op(data, (self,), backward, "reshape")
+        return Tensor._from_op(data, (self,), backward, "reshape",
+                               attrs={"shape": tuple(data.shape)})
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -531,7 +534,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._from_op(data, (self,), backward, "transpose")
+        return Tensor._from_op(data, (self,), backward, "transpose",
+                               attrs={"axes": tuple(int(a) for a in axes)})
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -547,7 +551,8 @@ class Tensor:
                 np.add.at(full, key, grad)
                 self._accumulate(full)
 
-        return Tensor._from_op(np.asarray(data), (self,), backward, "getitem")
+        return Tensor._from_op(np.asarray(data), (self,), backward, "getitem",
+                               attrs={"key": key})
 
     def broadcast_to(self, shape: tuple) -> "Tensor":
         data = np.broadcast_to(self.data, shape)
@@ -557,7 +562,8 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad, original))
 
-        return Tensor._from_op(data.copy(), (self,), backward, "broadcast")
+        return Tensor._from_op(data.copy(), (self,), backward, "broadcast",
+                               attrs={"shape": tuple(shape)})
 
 
 class Parameter(Tensor):
@@ -615,7 +621,8 @@ def concatenate(tensors, axis: int = 0) -> Tensor:
                 slicer[axis] = slice(int(start), int(stop))
                 t._accumulate(grad[tuple(slicer)])
 
-    return Tensor._from_op(data, tuple(tensors), backward, "concat")
+    return Tensor._from_op(data, tuple(tensors), backward, "concat",
+                           attrs={"axis": int(axis)})
 
 
 def stack(tensors, axis: int = 0) -> Tensor:
@@ -629,7 +636,8 @@ def stack(tensors, axis: int = 0) -> Tensor:
             if t.requires_grad:
                 t._accumulate(piece)
 
-    return Tensor._from_op(data, tuple(tensors), backward, "stack")
+    return Tensor._from_op(data, tuple(tensors), backward, "stack",
+                           attrs={"axis": int(axis)})
 
 
 def where(condition, a, b, *, _op: str = "where") -> Tensor:
@@ -650,7 +658,8 @@ def where(condition, a, b, *, _op: str = "where") -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * (~cond if cond.dtype == bool else 1 - cond), b.shape))
 
-    return Tensor._from_op(data, (a, b), backward, _op)
+    return Tensor._from_op(data, (a, b), backward, _op,
+                           attrs={"cond": cond})
 
 
 def maximum(a, b) -> Tensor:

@@ -1,0 +1,202 @@
+"""Alias/escape analysis and liveness/buffer-coloring over traced graphs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.alias import (
+    MemCoverageError,
+    compose_perms,
+    escaping_groups,
+    group_bytes,
+    inplace_candidates,
+    invert_perm,
+    is_identity_perm,
+    storage_groups,
+)
+from repro.analysis.liveness import analyze_liveness, last_uses
+from repro.analysis.trace import trace
+from repro.nn.tensor import Tensor
+
+
+def _traced(fn, *inputs):
+    return trace(fn, inputs=inputs)
+
+
+class TestPermAlgebra:
+    def test_compose_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 4, 5))
+        for _ in range(20):
+            first = tuple(rng.permutation(4).tolist())
+            second = tuple(rng.permutation(4).tolist())
+            composed = compose_perms(first, second)
+            np.testing.assert_array_equal(
+                x.transpose(first).transpose(second), x.transpose(composed))
+
+    def test_invert_roundtrip(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            perm = tuple(rng.permutation(5).tolist())
+            assert is_identity_perm(compose_perms(perm, invert_perm(perm)))
+            assert is_identity_perm(compose_perms(invert_perm(perm), perm))
+
+    def test_identity(self):
+        assert is_identity_perm((0, 1, 2))
+        assert not is_identity_perm((0, 2, 1))
+
+
+class TestStorageGroups:
+    def test_transpose_shares_parent_storage(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: (x.transpose((1, 0)) * 2.0).sum(), x)
+        groups = storage_groups(graph.nodes)
+        ops = {n.op: n.index for n in graph.nodes if n.kind == "op"}
+        leaf = [n.index for n in graph.nodes if n.kind != "op"][0]
+        assert groups[ops["transpose"]] == groups[leaf]
+        # mul allocates fresh storage: its own group.
+        assert groups[ops["mul"]] != groups[leaf]
+
+    def test_reshape_conservatively_merges(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.reshape((6,)).sum(), x)
+        groups = storage_groups(graph.nodes)
+        reshape = next(n.index for n in graph.nodes if n.op == "reshape")
+        leaf = [n.index for n in graph.nodes if n.kind != "op"][0]
+        assert groups[reshape] == groups[leaf]
+
+    def test_unknown_op_raises(self):
+        class FakeStep:
+            kind = "op"
+            op = "totally_new_op"
+            parents = (0,)
+            shape = (2,)
+
+        class FakeLeaf:
+            kind = "const"
+            op = "leaf"
+            parents = ()
+            shape = (2,)
+
+        with pytest.raises(MemCoverageError, match="totally_new_op"):
+            storage_groups([FakeLeaf(), FakeStep()])
+
+
+class TestEscape:
+    def test_output_and_leaf_groups_escape(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: (x * x).sum(), x)
+        groups = storage_groups(graph.nodes)
+        escaped = escaping_groups(graph.nodes, graph.outputs, groups)
+        for node in graph.nodes:
+            if node.kind != "op":
+                assert groups[node.index] in escaped
+        assert groups[graph.outputs[0]] in escaped
+
+    def test_interior_op_does_not_escape(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: (x * x).sum(), x)
+        groups = storage_groups(graph.nodes)
+        escaped = escaping_groups(graph.nodes, graph.outputs, groups)
+        mul = next(n.index for n in graph.nodes if n.op == "mul")
+        assert groups[mul] not in escaped
+
+
+class TestLastUses:
+    def test_outputs_get_sentinel(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: (x * x).sum(), x)
+        last = last_uses(graph.nodes, graph.outputs)
+        assert last[graph.outputs[0]] == len(graph.nodes)
+
+    def test_interior_dies_at_consumer(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: (x * x).sum(), x)
+        mul = next(n.index for n in graph.nodes if n.op == "mul")
+        total = next(n.index for n in graph.nodes if n.op == "sum")
+        last = last_uses(graph.nodes, graph.outputs)
+        assert last[mul] == total
+
+
+class TestColoring:
+    def test_sequential_chain_reuses_buffers(self):
+        # 8 same-shaped elementwise steps with non-overlapping lifetimes
+        # must not need 8 distinct buffers.
+        x = Tensor(np.ones((32, 32)))
+
+        def fn():
+            y = x
+            for _ in range(8):
+                y = y.tanh()
+            return y.sum()
+
+        graph = _traced(fn, x)
+        memory = analyze_liveness(graph.nodes, graph.outputs)
+        tanh_count = sum(1 for n in graph.nodes if n.op == "tanh")
+        assert tanh_count == 8
+        assert memory.num_buffers < tanh_count
+        assert memory.pool_bytes < memory.naive_bytes
+        assert memory.peak_live_bytes <= memory.pool_bytes
+
+    def test_view_keeps_group_alive(self):
+        # The transpose view of ``a`` is consumed late, so ``a``'s storage
+        # must not be recycled in between even though ``a`` itself has no
+        # later direct use.
+        x = Tensor(np.ones((4, 4)))
+
+        def fn():
+            a = x * 2.0
+            view = a.transpose((1, 0))
+            b = x.tanh()
+            return (b + view).sum()
+
+        graph = _traced(fn, x)
+        groups = storage_groups(graph.nodes)
+        memory = analyze_liveness(graph.nodes, graph.outputs)
+        mul = next(n.index for n in graph.nodes if n.op == "mul")
+        transpose = next(n.index for n in graph.nodes if n.op == "transpose")
+        add = next(n.index for n in graph.nodes if n.op == "add")
+        assert groups[transpose] == groups[mul]
+        # The group's lifetime extends to the view's consumer.
+        group_last = max(memory.last_use[i] for i in (mul, transpose))
+        assert group_last >= add
+
+    def test_naive_counts_every_op_output(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: x.tanh().tanh().sum(), x)
+        memory = analyze_liveness(graph.nodes, graph.outputs)
+        # two 2x2 float64 tanh outputs + one scalar sum
+        assert memory.naive_bytes == 2 * 32 + 8
+
+
+class TestInplaceCandidates:
+    def test_dying_elementwise_input_is_candidate(self):
+        x = Tensor(np.ones((4, 4)))
+        graph = _traced(lambda: x.tanh().sigmoid().sum(), x)
+        groups = storage_groups(graph.nodes)
+        last = last_uses(graph.nodes, graph.outputs)
+        escaped = escaping_groups(graph.nodes, graph.outputs, groups)
+        pairs = inplace_candidates(graph.nodes, last, groups, escaped)
+        tanh = next(n.index for n in graph.nodes if n.op == "tanh")
+        sigmoid = next(n.index for n in graph.nodes if n.op == "sigmoid")
+        assert (sigmoid, tanh) in pairs
+
+    def test_leaf_input_never_candidate(self):
+        x = Tensor(np.ones((4, 4)))
+        graph = _traced(lambda: x.tanh().sum(), x)
+        groups = storage_groups(graph.nodes)
+        last = last_uses(graph.nodes, graph.outputs)
+        escaped = escaping_groups(graph.nodes, graph.outputs, groups)
+        tanh = next(n.index for n in graph.nodes if n.op == "tanh")
+        leaf = [n.index for n in graph.nodes if n.kind != "op"][0]
+        assert (tanh, leaf) not in inplace_candidates(
+            graph.nodes, last, groups, escaped)
+
+
+class TestGroupBytes:
+    def test_view_group_sized_by_largest_member(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: (x.transpose((1, 0)) * 1.0).sum(), x)
+        groups = storage_groups(graph.nodes)
+        sizes = group_bytes(graph.nodes, groups)
+        leaf = [n.index for n in graph.nodes if n.kind != "op"][0]
+        assert sizes[groups[leaf]] == 6 * 8

@@ -155,6 +155,73 @@ class TestBlockingWithoutTimeout:
         assert not lint_source(source, "src/mod.py")
 
 
+class TestUninitializedEmpty:
+    def test_bare_np_empty_fires(self):
+        source = "import numpy as np\ndef f():\n    buf = np.empty(4)\n    return buf\n"
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_empty_like_fires(self):
+        source = "import numpy as np\ndef f(x):\n    buf = np.empty_like(x)\n    return buf\n"
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_full_slice_store_sanctions(self):
+        source = ("import numpy as np\ndef f(x):\n"
+                  "    buf = np.empty(4)\n    buf[:] = x\n    return buf\n")
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_ellipsis_store_sanctions(self):
+        source = ("import numpy as np\ndef f(x):\n"
+                  "    buf = np.empty(4)\n    buf[...] = x\n    return buf\n")
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_index_array_store_sanctions(self):
+        # The ranking idiom: ``ranks[order] = arange(n)`` covers every slot.
+        source = ("import numpy as np\ndef f(order, n):\n"
+                  "    ranks = np.empty_like(order)\n"
+                  "    ranks[order] = np.arange(n)\n    return ranks\n")
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_fill_sanctions(self):
+        source = ("import numpy as np\ndef f():\n"
+                  "    buf = np.empty(4)\n    buf.fill(0.0)\n    return buf\n")
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_unrelated_next_statement_fires(self):
+        source = ("import numpy as np\ndef f(x):\n"
+                  "    buf = np.empty(4)\n    y = x + 1\n"
+                  "    buf[:] = y\n    return buf\n")
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_augmented_store_not_accepted(self):
+        # ``buf[:] += x`` *reads* the uninitialized memory first.
+        source = ("import numpy as np\ndef f(x):\n"
+                  "    buf = np.empty(4)\n    buf[:] += x\n    return buf\n")
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_store_into_different_name_fires(self):
+        source = ("import numpy as np\ndef f(x, other):\n"
+                  "    buf = np.empty(4)\n    other[:] = x\n    return buf\n")
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_empty_as_bare_expression_fires(self):
+        source = "import numpy as np\ndef f(g):\n    g(np.empty(3))\n"
+        assert "REP110" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_outside_src_ignored(self):
+        source = "import numpy as np\nbuf = np.empty(4)\n"
+        assert "REP110" not in _codes(lint_source(source, "tests/mod.py"))
+
+    def test_noqa_suppresses(self):
+        source = ("import numpy as np\ndef f():\n"
+                  "    buf = np.empty(4)  # noqa: REP110\n"
+                  "    return buf\n")
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_zeros_never_fires(self):
+        source = "import numpy as np\nbuf = np.zeros(4)\n"
+        assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
+
+
 class TestNoqa:
     def test_matching_code_suppresses(self):
         source = "import numpy as np\nx = np.random.rand()  # noqa: REP101\n"

@@ -1,0 +1,283 @@
+"""Tape-to-plan compilation: rewrites, OPT4xx findings, and the verifier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plan import (
+    ExecutionPlan,
+    PlanVerificationError,
+    bitwise_equal,
+    build_plan,
+    execute_graph_plan,
+    verify_plan,
+)
+from repro.analysis.alias import MemCoverageError
+from repro.analysis.trace import trace
+from repro.nn.tensor import Tensor
+
+
+def _traced(fn, *inputs):
+    return trace(fn, inputs=inputs)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def _ops(plan):
+    return [s.op for s in plan.steps if s.kind == "op"]
+
+
+class TestTransposeRewrites:
+    def test_inverse_pair_cancels(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        graph = _traced(
+            lambda: (x.transpose((1, 0)).transpose((1, 0)) * 2.0).sum(), x)
+        plan, findings = build_plan(graph)
+        assert "transpose" not in _ops(plan)
+        kinds = [r.kind for r in plan.rewrites]
+        assert "fuse-transpose-pair" in kinds
+        assert "drop-identity-transpose" in kinds
+        assert "OPT401" in _rules(findings)
+        outs = execute_graph_plan(plan, graph)
+        assert bitwise_equal(outs[0], graph.concrete(graph.outputs[0]))
+
+    def test_noninverse_pair_fuses_to_one(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4))
+        graph = _traced(
+            lambda: (x.transpose((1, 2, 0)).transpose((1, 2, 0)) + 0.0).sum(),
+            x)
+        plan, _ = build_plan(graph)
+        assert _ops(plan).count("transpose") == 1
+        fused = next(s for s in plan.steps
+                     if s.kind == "op" and s.op == "transpose")
+        np.testing.assert_array_equal(
+            np.asarray(graph.concrete(fused.origin)),
+            execute_graph_plan(plan, graph, return_all=True)[fused.index])
+
+    def test_identity_transpose_dropped(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: (x.transpose((0, 1)) * 1.5).sum(), x)
+        plan, _ = build_plan(graph)
+        assert "transpose" not in _ops(plan)
+
+    def test_triple_chain_fuses_fully(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4))
+
+        def fn():
+            y = x.transpose((2, 1, 0)).transpose((1, 0, 2)).transpose((0, 2, 1))
+            return (y * 1.0).sum()
+
+        graph = _traced(fn, x)
+        plan, _ = build_plan(graph)
+        assert _ops(plan).count("transpose") <= 1
+        outs = execute_graph_plan(plan, graph)
+        assert bitwise_equal(outs[0], graph.concrete(graph.outputs[0]))
+
+
+class TestReshapeRewrites:
+    def test_pair_over_contiguous_source_fuses(self):
+        x = Tensor(np.ones((2, 3, 4)))
+
+        def fn():
+            fresh = x.tanh()           # freshly allocated -> contiguous
+            return fresh.reshape((6, 4)).reshape((24,)).sum()
+
+        graph = _traced(fn, x)
+        plan, findings = build_plan(graph)
+        assert _ops(plan).count("reshape") == 1
+        assert any(r.kind == "fuse-reshape-pair" for r in plan.rewrites)
+        outs = execute_graph_plan(plan, graph)
+        assert bitwise_equal(outs[0], graph.concrete(graph.outputs[0]))
+
+    def test_pair_over_leaf_not_fused(self):
+        # A leaf's strides are caller-controlled, so the contiguity proof
+        # must fail and both reshapes survive.
+        x = Tensor(np.ones((2, 3, 4)))
+        graph = _traced(lambda: x.reshape((6, 4)).reshape((24,)).sum(), x)
+        plan, _ = build_plan(graph)
+        assert _ops(plan).count("reshape") == 2
+        assert not any("reshape" in r.kind for r in plan.rewrites)
+
+    def test_identity_reshape_over_fresh_result_dropped(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.tanh().reshape((2, 3)).sum(), x)
+        plan, _ = build_plan(graph)
+        assert "reshape" not in _ops(plan)
+
+    def test_identity_reshape_over_leaf_kept(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.reshape((2, 3)).sum(), x)
+        plan, _ = build_plan(graph)
+        assert "reshape" in _ops(plan)
+
+    def test_reshape_of_transpose_is_advisory_only(self):
+        # The MACE hot spot: reshape of a transpose view forces a copy;
+        # the op-space planner must NOT rewrite it (einsum territory) but
+        # must surface it as OPT401.
+        x = Tensor(np.ones((2, 3, 4)))
+        graph = _traced(
+            lambda: x.transpose((0, 2, 1)).reshape((8, 3)).sum(), x)
+        plan, findings = build_plan(graph)
+        assert "transpose" in _ops(plan) and "reshape" in _ops(plan)
+        advisory = [f for f in findings if f.rule == "OPT401"]
+        assert any("forces a full copy" in f.message for f in advisory)
+
+
+class TestDeadCode:
+    def test_dead_subgraph_dropped_and_reported(self):
+        x = Tensor(np.ones((2, 3)))
+
+        def fn():
+            live = x.tanh()
+            dead = (x * 3.0).exp()      # never reaches the output
+            return live.sum()
+
+        graph = _traced(fn, x)
+        plan, findings = build_plan(graph)
+        assert "exp" not in _ops(plan)
+        assert "OPT402" in _rules(findings)
+        assert any(r.kind == "drop-dead-subgraph" for r in plan.rewrites)
+
+    def test_all_live_graph_reports_nothing(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.tanh().sum(), x)
+        _, findings = build_plan(graph)
+        assert "OPT402" not in _rules(findings)
+
+
+class TestAdvisoryFindings:
+    def test_elementwise_chain_reported(self):
+        x = Tensor(np.ones((4, 4)))
+        graph = _traced(lambda: x.tanh().sigmoid().relu().sum(), x)
+        _, findings = build_plan(graph)
+        chains = [f for f in findings if f.rule == "OPT403"]
+        assert chains and "chain of 3" in chains[0].message
+
+    def test_single_elementwise_op_not_a_chain(self):
+        x = Tensor(np.ones((4, 4)))
+        graph = _traced(lambda: x.tanh().sum(), x)
+        _, findings = build_plan(graph)
+        assert "OPT403" not in _rules(findings)
+
+    def test_long_lived_workspace_reported(self):
+        x = Tensor(np.ones((4, 4)))
+
+        def fn():
+            early = x.tanh()
+            y = x
+            for _ in range(20):       # > REMAT_SPAN steps of filler
+                y = y.sigmoid()
+            return (y + early).sum()
+
+        graph = _traced(fn, x)
+        _, findings = build_plan(graph)
+        remat = [f for f in findings if f.rule == "OPT404"]
+        assert any(f.op == "tanh" for f in remat)
+
+    def test_large_const_leaf_reported(self):
+        basis = Tensor(np.ones((16, 16)))   # const leaf, 256 elements
+        x = Tensor(np.ones((16, 16)))
+        graph = _traced(lambda: (x @ basis).sum(), x)
+        _, findings = build_plan(graph)
+        cacheable = [f for f in findings if f.rule == "OPT405"]
+        assert any("constant leaf" in f.message for f in cacheable)
+
+    def test_constant_foldable_frontier_reported(self):
+        basis = Tensor(np.ones((16, 16)))
+        x = Tensor(np.ones((16, 16)))
+        # basis.abs() depends only on a const; its consumer mixes in input.
+        graph = _traced(lambda: (x @ basis.abs()).sum(), x)
+        _, findings = build_plan(graph)
+        cacheable = [f for f in findings if f.rule == "OPT405"]
+        assert any(f.op == "abs" for f in cacheable)
+
+    def test_small_constants_ignored(self):
+        tiny = Tensor(np.ones((2, 2)))      # 4 elements < threshold
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: (x * tiny).sum(), x)
+        _, findings = build_plan(graph)
+        assert "OPT405" not in _rules(findings)
+
+
+class TestVerifier:
+    def _plan(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(
+            lambda: (x.transpose((1, 0)).transpose((1, 0)) * 2.0).sum(), x)
+        plan, _ = build_plan(graph)
+        return graph, plan
+
+    def test_built_plans_carry_a_proof(self):
+        graph, plan = self._plan()
+        assert plan.proof is not None
+        assert plan.proof.rewrites_covered == len(plan.rewrites)
+        assert plan.proof.abstract_checked == len(plan.steps)
+
+    def test_tampered_shape_refused(self):
+        graph, plan = self._plan()
+        victim = next(s for s in plan.steps if s.op == "mul")
+        victim.shape = (999,)
+        with pytest.raises(PlanVerificationError):
+            verify_plan(graph, plan)
+
+    def test_tampered_parent_refused(self):
+        # Rewiring sum past the clip reads the unclipped (wider) input;
+        # the plan's abstract value widens and the proof must refuse it.
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.clip(-1.0, 1.0).sum(), x)
+        plan, _ = build_plan(graph)
+        victim = next(s for s in plan.steps if s.op == "sum")
+        leaf = next(s.index for s in plan.steps if s.kind == "input")
+        victim.parents = (leaf,)
+        with pytest.raises(PlanVerificationError, match="diverge"):
+            verify_plan(graph, plan)
+
+    def test_tampered_attrs_refused(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.clip(-1.0, 1.0).sum(), x)
+        plan, _ = build_plan(graph)
+        clip = next(s for s in plan.steps if s.op == "clip")
+        clip.attrs = {"low": -100.0, "high": 100.0}   # widens the interval
+        with pytest.raises(PlanVerificationError, match="diverge"):
+            verify_plan(graph, plan)
+
+    def test_out_of_order_refused(self):
+        graph, plan = self._plan()
+        plan.steps[-1], plan.steps[-2] = plan.steps[-2], plan.steps[-1]
+        with pytest.raises(PlanVerificationError):
+            verify_plan(graph, plan)
+
+    def test_refinement_is_legal(self):
+        # x - x triggers the tight same-input rule only after the rewrite
+        # merges the transpose pair back into x; the plan's value [0, 0]
+        # refines the graph's wider interval and must be accepted.
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(
+            lambda: (x - x.transpose((1, 0)).transpose((1, 0))).sum(), x)
+        plan, _ = build_plan(graph)     # would raise if containment failed
+        assert plan.proof is not None
+        outs = execute_graph_plan(plan, graph)
+        assert bitwise_equal(outs[0], graph.concrete(graph.outputs[0]))
+
+
+class TestMemCoverageGate:
+    def test_unregistered_op_refused(self):
+        x = Tensor(np.ones((2, 2)))
+        graph = _traced(lambda: x.tanh().sum(), x)
+        next(n for n in graph.nodes if n.op == "tanh").op = "mystery_op"
+        with pytest.raises(MemCoverageError, match="mystery_op"):
+            build_plan(graph)
+
+
+class TestPlanStats:
+    def test_stats_shape(self):
+        x = Tensor(np.ones((2, 3)))
+        graph = _traced(lambda: x.tanh().sum(), x)
+        plan, _ = build_plan(graph)
+        stats = plan.stats()
+        for key in ("source_nodes", "steps", "ops", "rewrites", "verified",
+                    "pool_bytes", "peak_live_bytes", "naive_bytes"):
+            assert key in stats
+        assert stats["verified"] is True
+        assert stats["source_nodes"] == len(graph.nodes)

@@ -1,0 +1,149 @@
+"""Re-entrant and nested tracing must leave ``Module.__call__`` pristine.
+
+The tracer instruments ``Module.__call__`` to resolve dotted module
+paths.  Naive per-trace save/restore stacks wrappers under re-entrancy
+(a traced computation that itself calls ``trace``) and can resurrect a
+stale wrapper on out-of-order exit; the shared-wrapper design keeps one
+module-level patch and restores the pristine method exactly when the
+last trace exits.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+trace_module = importlib.import_module("repro.analysis.trace")
+from repro.analysis.trace import trace
+from repro.nn.modules.base import Module
+from repro.nn.tensor import Parameter, Tensor
+
+
+class Scale(Module):
+    def __init__(self, factor: float = 2.0):
+        super().__init__()
+        self.factor = Parameter(np.array(factor))
+
+    def forward(self, x):
+        return x * self.factor
+
+
+class Outer(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Scale()
+
+    def forward(self, x):
+        return self.inner(x) + 1.0
+
+
+@pytest.fixture(autouse=True)
+def pristine_call():
+    original = Module.__call__
+    yield original
+    assert Module.__call__ is original, "a trace leaked its patch"
+    assert not trace_module._ACTIVE_TRACERS
+    assert trace_module._ORIGINAL_CALL is None
+
+
+def test_single_trace_restores_call(pristine_call):
+    model = Scale()
+    x = Tensor(np.ones(3))
+    graph = trace(lambda: model(x).sum(), inputs=(x,), module=model)
+    assert any(n.op == "mul" for n in graph.nodes)
+    assert Module.__call__ is pristine_call
+
+
+def test_nested_trace_restores_call(pristine_call):
+    outer_model = Outer()
+    inner_model = Scale(3.0)
+    x = Tensor(np.ones(3))
+    captured = {}
+
+    def outer_fn():
+        # A traced computation that itself traces: the inner trace enters
+        # and exits while the outer trace is live.
+        y = Tensor(np.ones(3))
+        captured["inner"] = trace(lambda: inner_model(y).sum(),
+                                  inputs=(y,), module=inner_model)
+        assert Module.__call__ is not pristine_call  # still patched
+        return outer_model(x).sum()
+
+    outer = trace(outer_fn, inputs=(x,), module=outer_model)
+    assert Module.__call__ is pristine_call
+    inner = captured["inner"]
+    assert any(n.op == "mul" for n in inner.nodes)
+    # The outer graph records its own module paths, undisturbed by the
+    # inner trace's enter/exit.
+    mul_paths = {n.module_path for n in outer.nodes
+                 if n.op == "mul" and n.module_path}
+    assert "Outer.inner" in mul_paths
+
+
+def test_inner_ops_do_not_leak_outer_paths(pristine_call):
+    inner_model = Scale()
+
+    def outer_fn():
+        y = Tensor(np.ones(3))
+        inner = trace(lambda: inner_model(y).sum(),
+                      inputs=(y,), module=inner_model)
+        paths = {n.module_path for n in inner.nodes if n.op == "mul"}
+        assert paths == {"Scale"}
+        return Tensor(np.ones(2)).sum()
+
+    trace(outer_fn)
+
+
+def test_exception_during_trace_restores_call(pristine_call):
+    model = Scale()
+
+    def boom():
+        model(Tensor(np.ones(3)))
+        raise RuntimeError("mid-trace failure")
+
+    with pytest.raises(RuntimeError, match="mid-trace failure"):
+        trace(boom, module=model)
+    assert Module.__call__ is pristine_call
+
+
+def test_exception_in_nested_trace_keeps_outer_patch_working(pristine_call):
+    model = Scale()
+
+    def outer_fn():
+        with pytest.raises(RuntimeError):
+            trace(lambda: (_ for _ in ()).throw(RuntimeError()), module=model)
+        # The outer trace must still be live and still instrumented.
+        assert Module.__call__ is not pristine_call
+        return model(Tensor(np.ones(3))).sum()
+
+    graph = trace(outer_fn, module=model)
+    paths = {n.module_path for n in graph.nodes if n.op == "mul"}
+    assert "Scale" in paths
+
+
+def test_third_party_patch_not_clobbered(pristine_call):
+    # If someone patches Module.__call__ *on top of* the tracer's wrapper,
+    # exiting the last trace must leave their patch alone.
+    model = Scale()
+
+    def outer_fn():
+        current = Module.__call__
+
+        def third_party(self, *args, **kwargs):
+            return current(self, *args, **kwargs)
+
+        Module.__call__ = third_party
+        return model(Tensor(np.ones(3))).sum(), third_party
+
+    result_holder = {}
+
+    def fn():
+        out, patch = outer_fn()
+        result_holder["patch"] = patch
+        return out
+
+    trace(fn, module=model)
+    assert Module.__call__ is result_holder["patch"]
+    # Clean up for the autouse fixture's pristine assertion.
+    Module.__call__ = pristine_call
+    trace_module._ORIGINAL_CALL = None
