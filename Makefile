@@ -7,9 +7,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint analyze analyze-baseline plan-check plan-baseline \
-        test chaos chaos-train check-model obs-overhead help
+        test chaos chaos-train drill check-model obs-overhead help
 
-check: lint analyze plan-check test chaos chaos-train obs-overhead
+check: lint analyze plan-check test chaos chaos-train drill obs-overhead
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -48,6 +48,14 @@ chaos:
 chaos-train:
 	$(PYTHON) -m pytest tests/runtime/test_chaos_train.py -q
 
+# Closed-loop remediation drill gate: across the seeded scenario matrix
+# (>=30% of services faulted, remediation actions themselves sabotaged),
+# at least 90% of faulted services must converge back to HEALTHY with a
+# verified incident, and the policy engine's cooldown/blast-radius
+# self-audit must record zero violations.
+drill:
+	$(PYTHON) -m pytest tests/runtime/test_drill.py -q
+
 check-model:
 	$(PYTHON) -m repro check-model
 
@@ -67,5 +75,6 @@ help:
 	@echo "make test             - pytest"
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
 	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"
+	@echo "make drill            - closed-loop remediation drill gate (>=90% converge)"
 	@echo "make check-model      - static MACE shape/dtype contract check"
 	@echo "make obs-overhead     - telemetry overhead gate (<3% disabled-path cost)"

@@ -1,0 +1,101 @@
+"""Closed-loop remediation: one incident, end to end, narrated.
+
+``fault_tolerant_serving.py`` shows the runtime *containing* a failure —
+the breaker quarantines a broken service and a spectral fallback keeps
+scoring it.  This script closes the loop: a ``RemediationController``
+watches the same fleet, and when a scripted outage trips a breaker it
+opens an incident, diagnoses the root cause from evidence, runs a typed
+remediation action under policy guardrails, and only resolves the
+incident after the service has *stayed* healthy with bounded score
+drift.  The whole episode lands in a JSONL event log and is re-rendered
+at the end from the file alone — the same path ``repro obs report``
+uses.
+
+Run:  python examples/closed_loop_remediation.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import MaceConfig, MaceDetector
+from repro.data import load_dataset
+from repro.obs.events import EventLog, install_event_log
+from repro.obs.report import render_report
+from repro.runtime import (
+    BreakerConfig,
+    FaultInjector,
+    RemediationController,
+    ServingRuntime,
+)
+from repro.runtime.remediation import IncidentState
+
+OUTAGE = range(80, 140)
+
+
+def main() -> None:
+    dataset = load_dataset("smd", num_services=3, train_length=768,
+                           test_length=512, seed=7)
+    ids = [s.service_id for s in dataset]
+    victim = ids[1]
+
+    detector = MaceDetector(MaceConfig(epochs=4))
+    detector.fit(ids, [s.train for s in dataset])
+    faulty = FaultInjector(seed=0, corrupt_prob=0.0,
+                           raise_prob=0.0).wrap_detector(detector)
+
+    run_dir = Path(tempfile.mkdtemp(prefix="remediation-"))
+    tick = [0]
+    event_log = EventLog(run_dir / "events.jsonl",
+                         clock=lambda: float(tick[0]))
+    previous = install_event_log(event_log)
+    try:
+        runtime = ServingRuntime(
+            faulty, window=40, q=5e-3,
+            breaker_config=BreakerConfig(failure_threshold=3, base_backoff=4,
+                                         max_backoff=64))
+        controller = RemediationController(runtime)
+        for service in dataset:
+            runtime.start_service(service.service_id, service.train)
+            controller.watch(service.service_id, history=service.train)
+        print(f"serving {len(ids)} services; scoring outage on {victim} "
+              f"for steps {OUTAGE.start}-{OUTAGE.stop}\n")
+
+        seen = set()
+        for step in range(len(dataset[0].test)):
+            tick[0] = step + 1
+            faulty.fail_services = {victim} if step in OUTAGE else set()
+            for service in dataset:
+                controller.step(service.service_id, service.test[step])
+            incident = controller.active_incident(victim)
+            if incident is not None and incident.state not in seen:
+                seen.add(incident.state)
+                detail = ""
+                if incident.state is IncidentState.OPEN and incident.diagnosis:
+                    detail = f" ({incident.diagnosis.alert_class.value})"
+                elif incident.actions:
+                    detail = f" ({incident.actions[-1][0]})"
+                print(f"  t={step:3d}  incident {incident.incident_id} "
+                      f"-> {incident.state.value}{detail}")
+
+        incident = controller.incidents[0]
+        print(f"\nincident {incident.incident_id}: "
+              f"{incident.state.value} after "
+              f"{[f'{name}:{outcome}' for name, outcome in incident.actions]}")
+        print(f"final health of {victim}: "
+              f"{runtime.health(victim).state.value}")
+        report = controller.report()
+        print(f"controller report: {report['by_state']}, "
+              f"policy violations {report['policy']['violations']}")
+        assert incident.state is IncidentState.RESOLVED
+    finally:
+        install_event_log(previous)
+        event_log.close()
+
+    print(f"\n--- timeline re-rendered from {run_dir}/events.jsonl ---")
+    text = render_report(run_dir)
+    start = text.index("remediation incidents")
+    print(text[start:])
+
+
+if __name__ == "__main__":
+    main()

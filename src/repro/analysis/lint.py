@@ -69,6 +69,17 @@ Rules
     ...``) or ``buf.fill(value)``.  Loop-filled buffers should use
     ``np.zeros`` or carry an explicit ``# noqa: REP110`` after review.
 
+``REP111`` remediation action without a declared timeout/idempotency
+    Every :class:`~repro.runtime.remediation.actions.Action` subclass in
+    ``src/`` must declare a positive literal ``timeout_ticks`` and
+    ``idempotent = True`` — the registration decorator enforces this at
+    import time, and the lint enforces it statically so a violation never
+    reaches an import.  The rule also flags ``time.sleep(<literal>)``
+    inside a ``for``/``while`` body in library code: a bare sleep-retry
+    loop is an unbounded, untracked remediation — use the tick-driven
+    :class:`~repro.runtime.remediation.actions.ActionRunner` timeout
+    machinery (or the orchestrator's deadline plumbing) instead.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -99,6 +110,8 @@ RULES = {
               "CLI output helper)",
     "REP110": "np.empty/np.empty_like not fully initialized by the next "
               "statement",
+    "REP111": "remediation action without declared timeout/idempotency, or "
+              "a bare time.sleep retry loop in library code",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -487,10 +500,86 @@ def _check_uninitialized_empty(tree: ast.AST, path: str,
         ))
 
 
+def _class_level_assignments(node: ast.ClassDef) -> dict:
+    """Class-body ``name = value`` bindings (plain and annotated)."""
+    assigns: dict = {}
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = item.value
+        elif (isinstance(item, ast.AnnAssign)
+              and isinstance(item.target, ast.Name)
+              and item.value is not None):
+            assigns[item.target.id] = item.value
+    return assigns
+
+
+def _is_positive_int_literal(node: ast.expr | None) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, int)
+            and not isinstance(node.value, bool)
+            and node.value >= 1)
+
+
+def _check_remediation_actions(tree: ast.AST, path: str,
+                               out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    # (a) Action subclasses must declare the obligations the runtime
+    # registry enforces — statically, so the violation never imports.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if "Action" not in _module_bases(node):
+            continue
+        assigns = _class_level_assignments(node)
+        if not _is_positive_int_literal(assigns.get("timeout_ticks")):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP111",
+                f"remediation action {node.name} must declare a positive "
+                "literal timeout_ticks; an unbounded action wedges the "
+                "control loop",
+            ))
+        idempotent = assigns.get("idempotent")
+        if not (isinstance(idempotent, ast.Constant)
+                and idempotent.value is True):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP111",
+                f"remediation action {node.name} must declare "
+                "idempotent = True; timed-out actions are retried and must "
+                "be safe to re-run",
+            ))
+    # (b) time.sleep(<literal>) inside a loop body: a bare sleep-retry
+    # loop is an unbounded remediation outside the timeout machinery.
+    flagged: set = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        for inner in ast.walk(node):
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "sleep"
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == "time"
+                    and inner.args
+                    and isinstance(inner.args[0], ast.Constant)
+                    and id(inner) not in flagged):
+                flagged.add(id(inner))
+                out.append(Violation(
+                    path, inner.lineno, inner.col_offset, "REP111",
+                    "time.sleep(<literal>) inside a loop is a bare retry "
+                    "loop with no deadline; use tick-based timeouts "
+                    "(ActionRunner) or the orchestrator's deadline plumbing",
+                ))
+
+
 _CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
            _check_forward_without_contract, _check_blocking_without_timeout,
-           _check_bare_print, _check_uninitialized_empty)
+           _check_bare_print, _check_uninitialized_empty,
+           _check_remediation_actions)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

@@ -65,6 +65,20 @@ EVENT_KINDS = frozenset({
     "retry",                 # group, attempt, backoff_seconds
     "group_done",            # group, epochs, final_loss, rewinds
     "group_failed",          # group, error
+    # Closed-loop remediation (repro.runtime.remediation)
+    "incident_open",         # incident, service, tick, trigger
+    "diagnosis",             # incident, service, tick, alert_class, reason
+    "policy_decision",       # incident, service, tick, allowed, action
+    "action_start",          # incident, service, action, rung, tick
+    "action_end",            # incident, service, action, outcome, tick
+    "action_fault",          # service, fault_kind, action, tick (injected)
+    "action_timeout",        # service, action, tick, started_tick, budget
+    "action_rollback",       # incident, service, action, tick, reason
+    "verification_failed",   # incident, service, tick, reason
+    "remediation_verified",  # incident, service, tick, dwell
+    "incident_resolved",     # incident, service, tick, actions
+    "incident_escalated",    # incident, service, tick, actions
+    "page",                  # service, tick, reason
 })
 
 

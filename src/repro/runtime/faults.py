@@ -17,7 +17,12 @@ production actually sees:
   deterministic schedule of training-worker failures (``worker_kill``,
   ``worker_hang``, ``nan_grad``) that the
   :class:`~repro.runtime.orchestrator.FleetOrchestrator` executes inside
-  its worker processes.
+  its worker processes;
+* **action faults** — :meth:`FaultInjector.plan_action_faults` draws a
+  deterministic schedule of remediation-path failures (``action_fail``,
+  ``action_hang``, ``recovery_relapse``) so the closed-loop drill
+  harness (:mod:`repro.runtime.remediation.drill`) can chaos-test the
+  remediation machinery itself, not just the scoring path it repairs.
 """
 
 from __future__ import annotations
@@ -32,11 +37,14 @@ import numpy as np
 from repro.core.detector import AnomalyDetector
 
 __all__ = ["InjectedFault", "FaultInjector", "FaultyDetector",
-           "WorkerFault", "WORKER_FAULT_KINDS"]
+           "WorkerFault", "WORKER_FAULT_KINDS",
+           "ActionFault", "ACTION_FAULT_KINDS"]
 
 _CORRUPTION_KINDS = ("nan", "inf", "spike", "drop")
 
 WORKER_FAULT_KINDS = ("worker_kill", "worker_hang", "nan_grad")
+
+ACTION_FAULT_KINDS = ("action_fail", "action_hang", "recovery_relapse")
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,35 @@ class WorkerFault:
                 f"unknown worker fault kind {self.kind!r}; "
                 f"expected one of {WORKER_FAULT_KINDS}"
             )
+
+
+@dataclass(frozen=True)
+class ActionFault:
+    """One scheduled remediation-action fault for a service.
+
+    ``action_fail`` makes the next launched remediation action fail
+    immediately (the runner records FAILED without executing it);
+    ``action_hang`` makes it never complete, so the runner's declared
+    ``timeout_ticks`` must fire; ``recovery_relapse`` lets the action
+    succeed, then re-breaks the service ``relapse_ticks`` into the
+    verification dwell — the rollback-and-escalate path's own chaos test.
+    ``repeat=False`` fires on the first affected action/verification
+    only; ``repeat=True`` keeps firing and eventually drives the incident
+    up the escalation ladder to its terminal rung.
+    """
+
+    kind: str
+    relapse_ticks: int = 8
+    repeat: bool = False
+
+    def __post_init__(self):
+        if self.kind not in ACTION_FAULT_KINDS:
+            raise ValueError(
+                f"unknown action fault kind {self.kind!r}; "
+                f"expected one of {ACTION_FAULT_KINDS}"
+            )
+        if self.relapse_ticks < 1:
+            raise ValueError("relapse_ticks must be >= 1")
 
 
 class InjectedFault(RuntimeError):
@@ -118,6 +155,7 @@ class FaultInjector:
         self.observations_corrupted = 0
         self.scoring_faults = 0
         self.worker_faults_planned = 0
+        self.action_faults_planned = 0
 
     # ------------------------------------------------------------------
     # Observation faults
@@ -206,6 +244,41 @@ class FaultInjector:
         return plan
 
     # ------------------------------------------------------------------
+    # Action faults (closed-loop remediation)
+    # ------------------------------------------------------------------
+    def plan_action_faults(self, service_ids: Sequence[str],
+                           fault_rate: float,
+                           kinds: Sequence[str] = ACTION_FAULT_KINDS,
+                           relapse_ticks: int = 8,
+                           repeat: bool = False) -> Dict[str, "ActionFault"]:
+        """Draw a deterministic remediation-fault schedule for a drill.
+
+        The mirror of :meth:`plan_worker_faults` for the remediation
+        path: each service in ``service_ids`` (order matters — it is part
+        of the seeded draw) is assigned an :class:`ActionFault` with
+        probability ``fault_rate``.  The drill harness hands the plan to
+        the :class:`~repro.runtime.remediation.actions.ActionRunner`
+        (``action_fail`` / ``action_hang``) and applies
+        ``recovery_relapse`` itself during the verification dwell.
+        """
+        unknown = sorted(set(kinds) - set(ACTION_FAULT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown action fault kinds: {unknown}")
+        if not kinds:
+            raise ValueError("need at least one action fault kind")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        plan: Dict[str, ActionFault] = {}
+        for service_id in service_ids:
+            if self._rng.random() >= fault_rate:
+                continue
+            kind = kinds[int(self._rng.integers(len(kinds)))]
+            plan[service_id] = ActionFault(kind, relapse_ticks=relapse_ticks,
+                                           repeat=repeat)
+            self.action_faults_planned += 1
+        return plan
+
+    # ------------------------------------------------------------------
     # Storage faults
     # ------------------------------------------------------------------
     def truncate_file(self, path: str | Path,
@@ -227,9 +300,11 @@ class FaultyDetector(AnomalyDetector):
     """Proxy that injects faults into another detector's scoring path.
 
     Besides the injector's random per-call faults, ``fail_services`` is a
-    mutable set of service ids whose scoring *always* raises — the knob
-    for scripting sustained outages (down for steps 100..260, say) on top
-    of the random transient faults.
+    mutable set of service ids whose scoring *always* raises, and
+    ``nan_services`` one whose scoring always returns NaN at the newest
+    timestamp — the knobs for scripting sustained outages and sustained
+    silent corruption (down for steps 100..260, say) on top of the random
+    transient faults.
     """
 
     def __init__(self, inner: AnomalyDetector, injector: FaultInjector):
@@ -237,6 +312,7 @@ class FaultyDetector(AnomalyDetector):
         self.injector = injector
         self.name = f"faulty({inner.name})"
         self.fail_services: set = set()
+        self.nan_services: set = set()
 
     def fit(self, service_ids, train_series) -> "FaultyDetector":
         self.inner.fit(service_ids, train_series)
@@ -257,7 +333,9 @@ class FaultyDetector(AnomalyDetector):
                 f"injected scoring fault for service {service_id!r}"
             )
         scores = self.inner.score(service_id, series)
-        if fault == "nan":
+        if fault == "nan" or service_id in self.nan_services:
+            if service_id in self.nan_services:
+                self.injector.scoring_faults += 1
             scores = np.asarray(scores, dtype=float).copy()
             scores[-1] = np.nan
         return scores

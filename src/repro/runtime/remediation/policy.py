@@ -1,0 +1,185 @@
+"""Remediation policy: when is the controller *allowed* to act?
+
+Automated remediation is only safe inside guardrails.  The policy engine
+answers one question per incident per tick — "may I run this action now?"
+— under four constraints:
+
+* **per-service cooldown** — at least ``cooldown_ticks`` between action
+  starts on the same service, so a failing remedy cannot be machine-gunned
+  at a service faster than its effects can be observed;
+* **blast radius** — at most ``max_concurrent_actions`` actions in flight
+  fleet-wide, so a correlated outage (bad deploy, poisoned upstream) can
+  never trigger a fleet-wide simultaneous mutation;
+* **flapping suppression** — a service whose health has transitioned more
+  than ``flap_threshold`` times inside ``flap_window`` ticks is *not*
+  re-remediated; the ladder jumps straight to its terminal rung
+  (quarantine and page) because oscillation means the automated remedies
+  are not holding;
+* **escalation ladder** — each diagnosis maps to an ordered tuple of
+  action names; every failed/rolled-back attempt moves one rung up, and
+  the last rung is always the terminal human hand-off.
+
+The engine also keeps an invariant self-audit: every grant re-checks the
+cooldown and blast-radius predicates and counts any breach in
+``violations``.  The drill suite asserts this counter is zero — a nonzero
+value is a bug in the engine, never an acceptable outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.runtime.remediation.diagnosis import AlertClass
+
+__all__ = ["PolicyConfig", "PolicyDecision", "PolicyEngine",
+           "TERMINAL_ACTION", "DEFAULT_LADDERS"]
+
+TERMINAL_ACTION = "quarantine_and_page"
+
+# Root cause -> ordered remedies.  Every ladder ends on the terminal
+# human hand-off; PolicyConfig.__post_init__ enforces it.
+DEFAULT_LADDERS: Dict[AlertClass, Tuple[str, ...]] = {
+    AlertClass.DATA_QUALITY: (
+        "recalibrate_sanitizer", "reset_breaker", TERMINAL_ACTION),
+    AlertClass.MODEL_STALENESS: (
+        "hot_swap_detector", "reset_breaker", TERMINAL_ACTION),
+    AlertClass.ANOMALY_STORM: (
+        "reset_breaker", TERMINAL_ACTION),
+    AlertClass.UNKNOWN: (
+        "reset_breaker", "recalibrate_sanitizer", "hot_swap_detector",
+        TERMINAL_ACTION),
+}
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Guardrail thresholds and the per-diagnosis escalation ladders."""
+
+    cooldown_ticks: int = 24
+    max_concurrent_actions: int = 2
+    flap_window: int = 120
+    flap_threshold: int = 8
+    ladders: Mapping[AlertClass, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LADDERS))
+
+    def __post_init__(self):
+        if self.cooldown_ticks < 1:
+            raise ValueError("cooldown_ticks must be >= 1")
+        if self.max_concurrent_actions < 1:
+            raise ValueError("max_concurrent_actions must be >= 1")
+        if self.flap_window < 1 or self.flap_threshold < 1:
+            raise ValueError("flap window/threshold must be >= 1")
+        for alert_class, ladder in self.ladders.items():
+            if not ladder or ladder[-1] != TERMINAL_ACTION:
+                raise ValueError(
+                    f"ladder for {alert_class} must end on "
+                    f"{TERMINAL_ACTION!r}; got {ladder!r}"
+                )
+
+    def ladder(self, alert_class: AlertClass) -> Tuple[str, ...]:
+        return tuple(self.ladders.get(alert_class,
+                                      DEFAULT_LADDERS[AlertClass.UNKNOWN]))
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One grant/deferral/escalation verdict."""
+
+    allowed: bool
+    action: Optional[str]     # action name when allowed
+    reason: str
+    escalate: bool = False    # jump to the terminal rung (flapping)
+
+    def to_payload(self) -> dict:
+        return {"allowed": self.allowed, "action": self.action,
+                "reason": self.reason, "escalate": self.escalate}
+
+
+class PolicyEngine:
+    """Stateful guardrail keeper for the remediation controller.
+
+    The controller calls :meth:`decide` when it wants to launch a rung,
+    :meth:`acquire` when the runner accepts the action, and
+    :meth:`release` when the action leaves flight (done, failed, or timed
+    out).  Decisions are deterministic functions of tick state, so a
+    seeded drill replays bit-for-bit.
+    """
+
+    def __init__(self, config: PolicyConfig | None = None):
+        self.config = config or PolicyConfig()
+        self._last_action_tick: Dict[str, int] = {}
+        self._in_flight: Set[str] = set()
+        self.decisions = 0
+        self.deferrals = 0
+        self.violations = 0
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def decide(self, service_id: str, tick: int, alert_class: AlertClass,
+               rung: int, recent_transitions: int) -> PolicyDecision:
+        """May the controller start ladder rung ``rung`` now?
+
+        ``recent_transitions`` is the service's transition count inside
+        the flap window (:meth:`ServiceHealth.transitions_in_window`).
+        """
+        self.decisions += 1
+        ladder = self.config.ladder(alert_class)
+        flapping = recent_transitions > self.config.flap_threshold
+        if flapping and rung < len(ladder) - 1:
+            # Oscillating service: stop iterating remedies, hand off.
+            return PolicyDecision(
+                allowed=self._admit(service_id, tick),
+                action=TERMINAL_ACTION,
+                reason=(f"flapping: {recent_transitions} transitions in "
+                        f"the last {self.config.flap_window} ticks "
+                        f"(> {self.config.flap_threshold}); escalating"),
+                escalate=True,
+            )
+        if rung >= len(ladder):
+            # Ladder exhausted — the terminal rung already ran.
+            return PolicyDecision(False, None,
+                                  "escalation ladder exhausted")
+        action = ladder[rung]
+        last = self._last_action_tick.get(service_id)
+        if (action != TERMINAL_ACTION and last is not None
+                and tick - last < self.config.cooldown_ticks):
+            self.deferrals += 1
+            return PolicyDecision(
+                False, None,
+                f"cooldown: last action at tick {last}, "
+                f"{self.config.cooldown_ticks - (tick - last)} tick(s) "
+                "remaining")
+        if not self._admit(service_id, tick):
+            self.deferrals += 1
+            return PolicyDecision(
+                False, None,
+                f"blast radius: {self.in_flight} action(s) already in "
+                f"flight (cap {self.config.max_concurrent_actions})")
+        return PolicyDecision(True, action, f"ladder rung {rung}")
+
+    def _admit(self, service_id: str, tick: int) -> bool:
+        """Blast-radius admission; terminal escalations also respect it."""
+        return (service_id in self._in_flight
+                or self.in_flight < self.config.max_concurrent_actions)
+
+    def acquire(self, service_id: str, tick: int) -> None:
+        """Record an action start; self-audits the guardrail invariants."""
+        if service_id not in self._in_flight:
+            if self.in_flight >= self.config.max_concurrent_actions:
+                self.violations += 1
+            self._in_flight.add(service_id)
+        self._last_action_tick[service_id] = tick
+
+    def release(self, service_id: str) -> None:
+        self._in_flight.discard(service_id)
+
+    def stats(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "deferrals": self.deferrals,
+            "violations": self.violations,
+            "in_flight": self.in_flight,
+        }

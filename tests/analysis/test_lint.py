@@ -222,6 +222,130 @@ class TestUninitializedEmpty:
         assert "REP110" not in _codes(lint_source(source, "src/mod.py"))
 
 
+class TestRemediationActionContract:
+    _PREAMBLE = "class Action:\n    pass\n\n"
+
+    def _action(self, body):
+        return self._PREAMBLE + textwrap.dedent(body)
+
+    def test_compliant_action_passes(self):
+        source = self._action("""
+            class ResetBreaker(Action):
+                name = "reset"
+                timeout_ticks = 8
+                idempotent = True
+        """)
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_missing_timeout_fires(self):
+        source = self._action("""
+            class NoTimeout(Action):
+                name = "no-timeout"
+                idempotent = True
+        """)
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_bool_timeout_fires(self):
+        # True is an int at runtime, but "timeout_ticks = True" is a typo,
+        # not a budget.
+        source = self._action("""
+            class BoolTimeout(Action):
+                name = "bool"
+                timeout_ticks = True
+                idempotent = True
+        """)
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_zero_timeout_fires(self):
+        source = self._action("""
+            class ZeroTimeout(Action):
+                name = "zero"
+                timeout_ticks = 0
+                idempotent = True
+        """)
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_missing_idempotent_fires(self):
+        source = self._action("""
+            class NotIdempotent(Action):
+                name = "effectful"
+                timeout_ticks = 8
+        """)
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_annotated_constants_count(self):
+        source = self._action("""
+            class Annotated(Action):
+                name = "annotated"
+                timeout_ticks: int = 8
+                idempotent: bool = True
+        """)
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_non_action_class_exempt(self):
+        source = "class Widget:\n    pass\n"
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = self._action("""
+            class NoTimeout(Action):
+                name = "n"
+                idempotent = True
+        """)
+        assert "REP111" not in _codes(lint_source(source, "tests/test_x.py"))
+
+    def test_noqa_suppresses(self):
+        source = (self._PREAMBLE
+                  + "class NoTimeout(Action):  # noqa: REP111\n"
+                  + "    idempotent = True\n")
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+
+class TestBareSleepRetryLoop:
+    def test_literal_sleep_in_while_loop_fires(self):
+        source = ("import time\n"
+                  "def retry(f):\n"
+                  "    while True:\n"
+                  "        f()\n"
+                  "        time.sleep(1.0)\n")
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_literal_sleep_in_for_loop_fires(self):
+        source = ("import time\n"
+                  "def retry(f):\n"
+                  "    for _ in range(5):\n"
+                  "        time.sleep(0.5)\n"
+                  "        f()\n")
+        assert "REP111" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_computed_backoff_passes(self):
+        # An adaptive delay is a deliberate backoff, not a bare retry loop.
+        source = ("import time\n"
+                  "def retry(f, delay):\n"
+                  "    for _ in range(5):\n"
+                  "        time.sleep(delay)\n"
+                  "        delay *= 2\n")
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_sleep_outside_loop_passes(self):
+        source = "import time\ndef pause():\n    time.sleep(1.0)\n"
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = ("import time\n"
+                  "def retry(f):\n"
+                  "    while True:\n"
+                  "        time.sleep(1.0)\n")
+        assert "REP111" not in _codes(lint_source(source, "tests/test_x.py"))
+
+    def test_noqa_suppresses(self):
+        source = ("import time\n"
+                  "def retry(f):\n"
+                  "    while True:\n"
+                  "        time.sleep(1.0)  # noqa: REP111\n")
+        assert "REP111" not in _codes(lint_source(source, "src/mod.py"))
+
+
 class TestNoqa:
     def test_matching_code_suppresses(self):
         source = "import numpy as np\nx = np.random.rand()  # noqa: REP101\n"

@@ -1,0 +1,120 @@
+"""Remediation drill gate (`make drill`).
+
+Runs the seeded closed-loop drill across a fixed seed matrix and
+enforces the convergence contract: at least 30% of services faulted,
+at least 90% of the faulted services auto-remediated back to HEALTHY
+with a verified incident, zero policy guardrail violations, and a
+bitwise-reproducible event log.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.report import render_report
+from repro.runtime.remediation import DrillConfig, run_drill
+from repro.runtime.remediation.drill import SCENARIOS
+
+# Chosen so the union exercises every fault scenario AND every
+# action-fault kind (fail / hang / relapse) — asserted below, so a
+# refactor of the seeded assignment cannot silently shrink coverage.
+SEEDS = (0, 1, 2, 4)
+
+_CONFIGS = {seed: DrillConfig(seed=seed) for seed in SEEDS}
+_REPORTS = {}
+
+
+def _report(seed):
+    if seed not in _REPORTS:
+        _REPORTS[seed] = run_drill(_CONFIGS[seed])
+    return _REPORTS[seed]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestDrillGate:
+    def test_fault_coverage_floor(self, seed):
+        report = _report(seed)
+        assert report.faulted / len(report.rows) >= 0.3
+
+    def test_converged_fraction_floor(self, seed):
+        report = _report(seed)
+        assert report.converged_fraction >= 0.9, report.to_table()
+
+    def test_zero_guardrail_violations(self, seed):
+        assert _report(seed).violations == 0
+
+    def test_control_services_stay_quiet(self, seed):
+        controls = [row for row in _report(seed).rows if not row.scenario]
+        for row in controls:
+            assert row.incidents == 0, row
+            assert row.converged
+
+    def test_faulted_services_resolved_and_verified(self, seed):
+        for row in _report(seed).rows:
+            if row.scenario and row.converged:
+                assert row.resolved >= 1
+                assert row.escalated == 0
+                assert row.final_state == "healthy"
+
+
+class TestDrillCoverage:
+    """The seed matrix must exercise every failure shape end to end."""
+
+    def test_all_scenarios_present_across_matrix(self):
+        scenarios = {row.scenario for seed in SEEDS
+                     for row in _report(seed).rows if row.scenario}
+        assert scenarios == set(SCENARIOS)
+
+    def test_all_action_fault_kinds_present_across_matrix(self):
+        kinds = {row.action_fault for seed in SEEDS
+                 for row in _report(seed).rows if row.action_fault}
+        assert kinds == {"action_fail", "action_hang", "recovery_relapse"}
+
+    def test_sabotaged_services_still_converge(self):
+        # Sabotage makes the loop work harder, not give up: rollback plus
+        # a ladder climb still lands the service back at HEALTHY.
+        sabotaged = [row for seed in SEEDS for row in _report(seed).rows
+                     if row.action_fault]
+        assert sabotaged
+        assert all(row.converged for row in sabotaged)
+        assert any(outcome in ("failed", "timed_out")
+                   for row in sabotaged for _, outcome in row.actions)
+
+
+class TestReproducibility:
+    def test_event_log_is_bitwise_reproducible(self, tmp_path):
+        first = tmp_path / "run-a" / "events.jsonl"
+        second = tmp_path / "run-b" / "events.jsonl"
+        report_a = run_drill(DrillConfig(seed=3, events_path=first))
+        report_b = run_drill(DrillConfig(seed=3, events_path=second))
+        assert report_a.to_json() == report_b.to_json()
+        assert first.read_bytes() == second.read_bytes()
+        assert first.stat().st_size > 0
+
+    def test_report_json_round_trips(self):
+        payload = json.loads(_report(0).to_json())
+        assert payload["seed"] == 0
+        assert payload["violations"] == 0
+        assert len(payload["rows"]) == _CONFIGS[0].num_services
+
+
+class TestObsReport:
+    def test_timeline_renders_from_jsonl_alone(self, tmp_path):
+        run = tmp_path / "run"
+        run_drill(DrillConfig(seed=0, events_path=run / "events.jsonl"))
+        # Render straight from the serialized log: no in-process state.
+        text = render_report(run)
+        assert "remediation incidents" in text
+        assert "remediation timeline" in text
+        assert "incident_resolved" in text
+        assert "remediation_verified" in text
+
+
+class TestDrillConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            DrillConfig(num_services=0)
+        with pytest.raises(ValueError):
+            DrillConfig(fault_rate=1.5)
+        with pytest.raises(ValueError):
+            DrillConfig(ticks=10)
