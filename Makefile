@@ -7,9 +7,11 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint analyze analyze-baseline plan-check plan-baseline \
-        test chaos chaos-train drill check-model obs-overhead help
+        det-check det-baseline test chaos chaos-train drill check-model \
+        obs-overhead help
 
-check: lint analyze plan-check test chaos chaos-train drill obs-overhead
+check: lint analyze plan-check det-check test chaos chaos-train drill \
+       obs-overhead
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -31,6 +33,18 @@ plan-check:
 
 plan-baseline:
 	$(PYTHON) -m repro analyze --plan --update-baseline --baseline plan_baseline.json
+
+# Determinism & effect analyzer over the repro package itself: every
+# declared determinism root must be pure modulo declared seeds.  Zero
+# unaudited DET/FS findings ever; the audited set must match
+# det_baseline.json *exactly* — a new audited finding is an unreviewed
+# annotation, a vanished one is silent coverage loss (or a real fix:
+# run `make det-baseline`).
+det-check:
+	$(PYTHON) -m repro analyze --effects --baseline det_baseline.json
+
+det-baseline:
+	$(PYTHON) -m repro analyze --effects --update-baseline --baseline det_baseline.json
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -72,6 +86,8 @@ help:
 	@echo "make analyze-baseline - re-accept current analyzer warnings"
 	@echo "make plan-check       - verified execution plans vs committed OPT4xx baseline"
 	@echo "make plan-baseline    - re-snapshot the expected OPT4xx findings"
+	@echo "make det-check        - determinism/effect analyzer vs det_baseline.json"
+	@echo "make det-baseline     - re-snapshot the audited determinism findings"
 	@echo "make test             - pytest"
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
 	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"

@@ -24,6 +24,15 @@ Three layers, each usable on its own:
   layout rewrites (OPT4xx findings), and a machine-checked plan verifier
   that abstractly interprets the rewritten graph and refuses divergent
   plans.  ``repro analyze --plan`` drives it over every shipped model.
+* :mod:`repro.analysis.effects` / :mod:`repro.analysis.purity` /
+  :mod:`repro.analysis.forksafety` — the determinism analyzer: an
+  interprocedural effect system over the ``repro`` package's own AST.
+  Every declared determinism root (``MaceTrainer.fit``, serving
+  ``update``/``score``, the fleet ``run``, ``run_drill``, the plan
+  compiler) is checked against the pure-modulo-seed contract (DET5xx
+  findings with provenance chains); the multiprocessing layers get a
+  fork-safety pass (FS6xx).  ``repro analyze --effects`` drives it and
+  gates the audited set against ``det_baseline.json``.
 """
 
 from repro.analysis.alias import (
@@ -45,6 +54,21 @@ from repro.analysis.dataflow import (
     propagate,
 )
 from repro.analysis.domains import Interval
+from repro.analysis.effects import (
+    ATOMS,
+    EffectAnnotation,
+    EffectSite,
+    RepoModel,
+    analyze_package,
+)
+from repro.analysis.forksafety import FS_RULES, check_fork_safety
+from repro.analysis.purity import (
+    DET_RULES,
+    DETERMINISM_ROOTS,
+    check_roots,
+    det_regressions,
+    effects_report,
+)
 from repro.analysis.gradflow import audit_gradient_flow
 from repro.analysis.lint import Violation, lint_paths, lint_source
 from repro.analysis.liveness import BufferAssignment, analyze_liveness, last_uses
@@ -108,4 +132,16 @@ __all__ = [
     "execute_plan",
     "execute_graph_plan",
     "bitwise_equal",
+    "ATOMS",
+    "EffectAnnotation",
+    "EffectSite",
+    "RepoModel",
+    "analyze_package",
+    "FS_RULES",
+    "check_fork_safety",
+    "DET_RULES",
+    "DETERMINISM_ROOTS",
+    "check_roots",
+    "det_regressions",
+    "effects_report",
 ]

@@ -80,6 +80,17 @@ Rules
     :class:`~repro.runtime.remediation.actions.ActionRunner` timeout
     machinery (or the orchestrator's deadline plumbing) instead.
 
+``REP112`` bare stdlib ``random.*`` call
+    The stdlib ``random`` module is one hidden global stream, exactly
+    like bare ``np.random.*`` (REP101): any draw from it makes the
+    calling function irreproducible and invisible to seed threading.
+    Library code under ``src/`` must take an explicit
+    ``numpy.random.Generator`` parameter (or construct a local
+    ``random.Random(seed)``); only the ``Random`` / ``SystemRandom``
+    constructors are allowed through.  Names imported *from* the module
+    (``from random import shuffle``) are flagged at the import, so the
+    draws cannot hide behind a bare name.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -112,6 +123,8 @@ RULES = {
               "statement",
     "REP111": "remediation action without declared timeout/idempotency, or "
               "a bare time.sleep retry loop in library code",
+    "REP112": "bare stdlib random.* call in library code (thread an "
+              "explicit numpy Generator instead)",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -575,7 +588,56 @@ def _check_remediation_actions(tree: ast.AST, path: str,
                 ))
 
 
-_CHECKS = (_check_bare_random, _check_data_mutation, _check_float32,
+# stdlib random attributes that construct independent streams rather
+# than draw from the hidden module-global one.
+ALLOWED_STD_RANDOM = {"Random", "SystemRandom"}
+
+
+def _check_bare_std_random(tree: ast.AST, path: str,
+                           out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "random":
+                    aliases.add(item.asname or "random")
+        elif isinstance(node, ast.ImportFrom):
+            # `from repro.nn import random` binds the repo module, not
+            # the stdlib one — only a plain `from random import X`
+            # (absolute, top-level) is the stdlib stream.
+            if node.module == "random" and node.level == 0:
+                for item in node.names:
+                    if item.name not in ALLOWED_STD_RANDOM:
+                        out.append(Violation(
+                            path, node.lineno, node.col_offset, "REP112",
+                            f"`from random import {item.name}` pulls a "
+                            "draw from the unseeded module-global "
+                            "stream; thread a numpy Generator parameter "
+                            "instead",
+                        ))
+    if not aliases:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+                and func.attr not in ALLOWED_STD_RANDOM):
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP112",
+                f"random.{func.attr}() draws from the unseeded "
+                "module-global stream; thread a numpy Generator "
+                "parameter (or a local random.Random(seed)) instead",
+            ))
+
+
+_CHECKS = (_check_bare_random, _check_bare_std_random,
+           _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
            _check_forward_without_contract, _check_blocking_without_timeout,
            _check_bare_print, _check_uninitialized_empty,

@@ -15,6 +15,9 @@ Commands
     :class:`~repro.analysis.plan.ExecutionPlan` and reports OPT4xx
     optimization findings (redundant copy pairs, dead subgraphs, fusable
     chains, rematerializable workspaces, cacheable constants).
+    With ``--effects``, runs the determinism & effect analyzer over the
+    ``repro`` package itself (DET5xx contract findings, FS6xx
+    fork-safety findings) and gates against ``det_baseline.json``.
 ``analyze-data``
     Dataset diagnostics: diversity, anomaly composition, recommended window.
 ``lint``
@@ -98,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="accepted-warnings baseline file")
     analyze.add_argument("--update-baseline", action="store_true",
                          help="rewrite the baseline from current warnings")
+    analyze.add_argument("--effects", action="store_true",
+                         help="determinism & effect analysis of the repro "
+                              "package itself (DET5xx/FS6xx findings)")
     analyze.add_argument("--plan", action="store_true",
                          help="build + verify execution plans and report "
                               "OPT4xx optimization findings")
@@ -294,6 +300,8 @@ def _cmd_analyze(args) -> int:
 
     from repro.analysis import audit
 
+    if args.effects:
+        return _cmd_analyze_effects(args)
     if args.plan:
         return _cmd_analyze_plan(args)
     try:
@@ -357,6 +365,72 @@ def _cmd_analyze(args) -> int:
                   file=sys.stderr)
         return 1
     _out("analysis clean: no findings outside the baseline")
+    return 0
+
+
+def _cmd_analyze_effects(args) -> int:
+    import json
+
+    from repro.analysis import audit, purity
+
+    report = purity.effects_report()
+    if args.update_baseline:
+        path = args.baseline or "det_baseline.json"
+        purity.write_det_baseline(path, report)
+        audited = purity.load_det_baseline(path)["audited"]
+        _out(f"wrote {path} ({len(audited)} audited findings)")
+        return 0
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = purity.load_det_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            _out(f"cannot read determinism baseline: {error}",
+                 file=sys.stderr)
+            return 2
+    unaudited, new_audited, vanished = purity.det_regressions(
+        report, baseline)
+    if args.json:
+        payload = {key: value for key, value in report.items()
+                   if not key.startswith("_")}
+        payload["unaudited"] = [audit.fingerprint(f) for f in unaudited]
+        payload["new_audited"] = [audit.fingerprint(f) for f in new_audited]
+        payload["vanished"] = vanished
+        _out(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if unaudited or new_audited or vanished else 0
+    from repro.eval import format_table
+
+    rows = []
+    for entry in report["roots"]:
+        signature = entry["signature"]
+        audited = sorted(a for a, s in signature.items() if s == "audited")
+        active = sorted(a for a, s in signature.items() if s == "active")
+        rows.append((entry["root"].split(".", 1)[1],
+                     "yes" if entry["found"] else "NO",
+                     entry["functions"],
+                     ",".join(active) or "-",
+                     ",".join(audited) or "-"))
+    _out(format_table(("determinism root", "found", "fns", "active",
+                        "audited"), rows,
+                       title="pure-modulo-seed contract "
+                             "(RNG_SEEDED always allowed)"))
+    for finding in unaudited + new_audited:
+        flavor = "UNAUDITED" if not finding.suppressed else "NEW-AUDITED"
+        location = f"{finding.file}:{finding.line}" if finding.file else ""
+        _out(f"{flavor} {finding.severity.upper()} {finding.rule} "
+              f"[{finding.model}] {location}\n    {finding.message}")
+    for fp in vanished:
+        _out(f"VANISHED {fp}\n    audited by det_baseline.json but no "
+              "longer reported (fixed? run --update-baseline; analyzer "
+              "coverage regression? investigate)")
+    if unaudited or new_audited or vanished:
+        _out(f"{len(unaudited)} unaudited / {len(new_audited)} new audited "
+              f"/ {len(vanished)} vanished determinism finding(s)",
+              file=sys.stderr)
+        return 1
+    summary = report["summary"]
+    _out(f"determinism contract holds: {summary['audited']} audited "
+          "finding(s), zero unaudited, baseline matches exactly")
     return 0
 
 

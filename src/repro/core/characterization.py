@@ -65,7 +65,7 @@ class FrequencyCharacterization(Module):
         self._marker_cache: dict = {}
 
     def _markers(self, subspace: ServiceSubspace) -> np.ndarray:
-        key = id(subspace)
+        key = id(subspace)  # effects: ok ID_HASH reason=per-instance cache key; marker values are independent of it
         if key not in self._marker_cache:
             self._marker_cache[key] = frequency_marker_channels(subspace)
         return self._marker_cache[key]

@@ -134,7 +134,7 @@ class MaceTrainer:
         nonfinite_counter = registry.counter("trainer.nonfinite_batches")
         epoch = start_epoch
         while epoch < self.config.epochs:
-            epoch_started = time.perf_counter()
+            epoch_started = time.perf_counter()  # effects: ok TIME reason=epoch wall time is telemetry, never model input
             epoch_loss = 0.0
             epoch_norm = 0.0
             batches = 0
@@ -177,7 +177,7 @@ class MaceTrainer:
                         batches += 1
             self.history.epoch_losses.append(epoch_loss / max(batches, 1))
             self.history.grad_norms.append(epoch_norm / max(batches, 1))
-            elapsed = time.perf_counter() - epoch_started
+            elapsed = time.perf_counter() - epoch_started  # effects: ok TIME reason=epoch wall time is telemetry, never model input
             epoch_seconds.observe(elapsed)
             batch_counter.inc(batches + skipped)
             if skipped:

@@ -64,7 +64,7 @@ def op_hooks() -> List[Callable]:
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED  # effects: ok FORK_GLOBAL reason=process-local bool toggled by no_grad; fork copy is correct
 
 
 @contextlib.contextmanager
@@ -111,13 +111,13 @@ def topological_order(root) -> List:
         if processed:
             order.append(node)
             continue
-        if id(node) in visited:
+        if id(node) in visited:  # effects: ok ID_HASH reason=visited-set membership only; emission order follows graph edges
             continue
-        visited.add(id(node))
+        visited.add(id(node))  # effects: ok ID_HASH reason=visited-set membership only; emission order follows graph edges
         stack.append((node, True))
         parents: Iterable = node._parents or ()
         for parent in parents:
-            if id(parent) not in visited:
+            if id(parent) not in visited:  # effects: ok ID_HASH reason=visited-set membership only; emission order follows graph edges
                 stack.append((parent, False))
     order.reverse()
     return order

@@ -23,7 +23,7 @@ def seed(value: int) -> None:
 
 def default_rng() -> np.random.Generator:
     """Return the library-wide default generator."""
-    return _DEFAULT
+    return _DEFAULT  # effects: ok FORK_GLOBAL reason=library-wide default generator; workers reseed via config seed
 
 
 def fork_rng(value: int | None = None) -> np.random.Generator:

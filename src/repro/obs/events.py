@@ -91,7 +91,7 @@ class EventLog:
     """
 
     def __init__(self, path: Optional[str | Path] = None, *,
-                 keep: int = 4096, clock: Callable[[], float] = time.time):
+                 keep: int = 4096, clock: Callable[[], float] = time.time):  # effects: ok TIME reason=wall-clock is the default timestamp; drills inject a virtual clock
         self.path = Path(path) if path is not None else None
         self.tail: deque = deque(maxlen=keep)
         self._clock = clock
@@ -104,7 +104,7 @@ class EventLog:
     def emit(self, kind: str, **fields: object) -> dict:
         """Append one event; returns the record written."""
         record = {"schema": SCHEMA_VERSION, "seq": self._seq,
-                  "ts": self._clock(), "kind": str(kind)}
+                  "ts": self._clock(), "kind": str(kind)}  # effects: ok TIME reason=event timestamps are telemetry, never model input
         self._seq += 1
         for key, value in fields.items():
             record[key] = _jsonable(value)
@@ -163,14 +163,14 @@ def get_event_log() -> EventLog:
 def install_event_log(log: EventLog) -> EventLog:
     """Swap the installed event log; returns the previous one."""
     global _LOG
-    previous = _LOG
+    previous = _LOG  # effects: ok FORK_GLOBAL reason=swap point by design; workers install their own log on entry
     _LOG = log
     return previous
 
 
 def emit(kind: str, **fields: object) -> dict:
     """Emit one event into the currently installed log."""
-    return _LOG.emit(kind, **fields)
+    return _LOG.emit(kind, **fields)  # effects: ok FORK_GLOBAL reason=swap point by design; workers install their own log on entry
 
 
 def read_events(path: str | Path,

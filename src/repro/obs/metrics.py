@@ -379,9 +379,9 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def dump(self, path) -> None:
-        from pathlib import Path
+        from repro.nn.serialization import atomic_replace
 
-        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        atomic_replace(path, self.to_jsonl().encode("utf-8"))
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition (counters, gauges, histograms)."""
@@ -497,13 +497,13 @@ _REGISTRY = MetricsRegistry()
 
 def get_registry() -> MetricsRegistry:
     """The process-wide default registry instrumented code records into."""
-    return _REGISTRY
+    return _REGISTRY  # effects: ok FORK_GLOBAL reason=swap point by design; workers install their own registry
 
 
 def install_registry(registry: MetricsRegistry) -> MetricsRegistry:
     """Swap the default registry (worker isolation, tests); returns the
     previous one so callers can restore it."""
     global _REGISTRY
-    previous = _REGISTRY
+    previous = _REGISTRY  # effects: ok FORK_GLOBAL reason=swap point by design; workers install their own registry
     _REGISTRY = registry
     return previous

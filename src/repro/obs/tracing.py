@@ -122,12 +122,12 @@ class _ActiveSpan:
         if self._recording:
             if tracer.trace_memory:
                 self._mem_start = tracemalloc.get_traced_memory()[0]
-            self._start = time.perf_counter()
+            self._start = time.perf_counter()  # effects: ok TIME reason=span duration is telemetry, never model input
         return self
 
     def __exit__(self, *exc_info) -> bool:
         tracer = self._tracer
-        elapsed = (time.perf_counter() - self._start if self._recording
+        elapsed = (time.perf_counter() - self._start if self._recording  # effects: ok TIME reason=span duration is telemetry, never model input
                    else 0.0)
         stack = tracer._stack
         if stack and stack[-1] is self:
@@ -201,9 +201,9 @@ class Tracer:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def dump(self, path) -> None:
-        from pathlib import Path
+        from repro.nn.serialization import atomic_replace
 
-        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        atomic_replace(path, self.to_jsonl().encode("utf-8"))
 
     def aggregate(self) -> Dict[str, dict]:
         """Per-path totals: count, wall seconds, net allocation."""
@@ -231,7 +231,7 @@ _TRACER: Optional[Tracer] = None
 
 def span(name: str, **attrs: object):
     """Open a (possibly nested) span; free when tracing is disabled."""
-    tracer = _TRACER
+    tracer = _TRACER  # effects: ok FORK_GLOBAL reason=swap point by design; workers enable their own tracer
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, attrs if attrs else None)
@@ -245,13 +245,13 @@ def enable_tracing(sample_rate: float = 1.0,
         _TRACER.stop()
     _TRACER = Tracer(sample_rate=sample_rate,
                      trace_memory=trace_memory).start()
-    return _TRACER
+    return _TRACER  # effects: ok FORK_GLOBAL reason=swap point by design; workers enable their own tracer
 
 
 def disable_tracing() -> Optional[Tracer]:
     """Stop tracing; returns the tracer (with its spans) if one was live."""
     global _TRACER
-    tracer = _TRACER
+    tracer = _TRACER  # effects: ok FORK_GLOBAL reason=swap point by design; workers enable their own tracer
     _TRACER = None
     if tracer is not None:
         tracer.stop()

@@ -463,7 +463,7 @@ class FleetOrchestrator:
         self._events = EventLog(self.directory / "events.jsonl")
         try:
             while pending or running:
-                now = time.monotonic()
+                now = time.monotonic()  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
                 self._launch_eligible(runs, pending, running, now)
                 if not running:
                     # Everything pending is gated on backoff; sleep to the
@@ -473,7 +473,7 @@ class FleetOrchestrator:
                                    self.fleet.poll_interval))
                     continue
                 self._wait(runs, running)
-                now = time.monotonic()
+                now = time.monotonic()  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
                 for group_id in list(running):
                     run = runs[group_id]
                     if not run.process.is_alive():
@@ -537,14 +537,14 @@ class FleetOrchestrator:
         )
         process.start()
         run.process = process
-        run.started_at = time.monotonic()
+        run.started_at = time.monotonic()  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
         run.deadline = run.started_at + self.fleet.timeout
         run.result.status = JobStatus.RUNNING
         self._emit("attempt_start", group=run.job.group_id, attempt=attempt)
 
     def _wait(self, runs, running: List[str]) -> None:
         """Block until a worker exits, a deadline passes, or a poll tick."""
-        now = time.monotonic()
+        now = time.monotonic()  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
         nearest = min(runs[g].deadline for g in running)
         timeout = max(min(nearest - now, self.fleet.poll_interval), 0.0)
         connection.wait([runs[g].process.sentinel for g in running],
@@ -563,7 +563,7 @@ class FleetOrchestrator:
         process = run.process
         process.join(self.fleet.term_grace)
         exitcode = process.exitcode
-        seconds = time.monotonic() - run.started_at
+        seconds = time.monotonic() - run.started_at  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
         process.close()
         run.process = None
         attempt = len(run.result.attempts) + 1
@@ -603,7 +603,7 @@ class FleetOrchestrator:
             return
         backoff = self._backoff(attempt)
         run.result.status = JobStatus.PENDING
-        run.eligible_at = time.monotonic() + backoff
+        run.eligible_at = time.monotonic() + backoff  # effects: ok TIME reason=deadline supervision only; job results carry no wall time
         pending.append(run.job.group_id)
         self.registry.counter("fleet.retries").inc()
         self._emit("retry", group=run.job.group_id, attempt=attempt,

@@ -257,12 +257,12 @@ class ServingRuntime:
             raise KeyError(
                 f"service {service_id!r} not started; call start_service()"
             )
-        started = time.perf_counter()
+        started = time.perf_counter()  # effects: ok TIME reason=latency measurement is telemetry, never model input
         try:
             with span("serving.update"):
                 return self._update(service_id, observation)
         finally:
-            self._latency[service_id].observe(time.perf_counter() - started)
+            self._latency[service_id].observe(time.perf_counter() - started)  # effects: ok TIME reason=latency measurement is telemetry, never model input
             self._report_transitions(service_id)
 
     def _report_transitions(self, service_id: str) -> None:

@@ -1,0 +1,199 @@
+"""repro.analysis.forksafety: FS601-FS603 on synthetic and real packages."""
+
+from repro.analysis.effects import analyze_package
+from repro.analysis.forksafety import (
+    check_fork_safety,
+    worker_reachable,
+    worker_targets,
+)
+
+
+def make_pkg(tmp_path, files):
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return analyze_package(root=root)
+
+
+WORKER_PKG = {
+    "sinks.py": (
+        "_LOG = []\n"
+        "def install(log):\n"
+        "    global _LOG\n"
+        "    _LOG = log\n"
+        "def emit(record):\n"
+        "    _LOG.append(record)\n"
+    ),
+    "work.py": (
+        "import multiprocessing\n"
+        "from pkg.sinks import emit\n"
+        "def _job(payload):\n"
+        "    emit(payload)\n"
+        "def launch(payload):\n"
+        "    ctx = multiprocessing.get_context('spawn')\n"
+        "    process = ctx.Process(target=_job, args=(payload,))\n"
+        "    process.start()\n"
+        "    process.join(5.0)\n"
+    ),
+}
+
+
+class TestWorkerDiscovery:
+    def test_process_target_found(self, tmp_path):
+        model = make_pkg(tmp_path, WORKER_PKG)
+        assert worker_targets(model) == ["pkg.work._job"]
+
+    def test_reachability_crosses_modules(self, tmp_path):
+        model = make_pkg(tmp_path, WORKER_PKG)
+        reached = worker_reachable(model)
+        assert "pkg.sinks.emit" in reached
+        assert reached["pkg.sinks.emit"] == "pkg.work._job"
+
+
+class TestSharedGlobals:
+    def test_swap_point_read_in_worker_fires(self, tmp_path):
+        model = make_pkg(tmp_path, WORKER_PKG)
+        findings = [f for f in check_fork_safety(model)
+                    if f.rule == "FS601" and not f.suppressed]
+        assert any(f.op == "_LOG" and "emit" in f.module_path
+                   for f in findings)
+
+    def test_audited_annotation_suppresses(self, tmp_path):
+        files = dict(WORKER_PKG)
+        files["sinks.py"] = files["sinks.py"].replace(
+            "    _LOG.append(record)",
+            "    _LOG.append(record)  # effects: ok FORK_GLOBAL "
+            "reason=workers install their own")
+        model = make_pkg(tmp_path, files)
+        findings = [f for f in check_fork_safety(model)
+                    if f.rule == "FS601" and f.op == "_LOG"
+                    and "emit" in f.module_path]
+        assert findings and all(f.suppressed for f in findings)
+
+    def test_unrebound_global_is_not_flagged(self, tmp_path):
+        files = dict(WORKER_PKG)
+        files["sinks.py"] = (
+            "_FROZEN = (1, 2)\n"
+            "def emit(record):\n"
+            "    return _FROZEN\n"
+        )
+        model = make_pkg(tmp_path, files)
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS601"] == []
+
+
+class TestAtomicWrites:
+    def test_plain_write_in_mp_module_fires(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "def dump(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n"
+        )})
+        findings = [f for f in check_fork_safety(model)
+                    if f.rule == "FS602"]
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+
+    def test_write_then_rename_is_clean(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "import os\n"
+            "def dump(path, data):\n"
+            "    with open(path + '.tmp', 'w') as handle:\n"
+            "        handle.write(data)\n"
+            "    os.replace(path + '.tmp', path)\n"
+        )})
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS602"] == []
+
+    def test_append_mode_is_exempt(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "def journal(path, line):\n"
+            "    with open(path, 'a') as handle:\n"
+            "        handle.write(line)\n"
+        )})
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS602"] == []
+
+    def test_write_outside_mp_scope_ignored(self, tmp_path):
+        model = make_pkg(tmp_path, {"plain.py": (
+            "def dump(path, data):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        handle.write(data)\n"
+        )})
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS602"] == []
+
+
+class TestProcessLifecycle:
+    def test_started_never_joined_fires(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "def fire_and_forget(job):\n"
+            "    process = multiprocessing.Process(target=job)\n"
+            "    process.start()\n"
+        )})
+        findings = [f for f in check_fork_safety(model)
+                    if f.rule == "FS603"]
+        assert len(findings) == 1
+        assert "never joined" in findings[0].message
+
+    def test_joined_process_is_clean(self, tmp_path):
+        model = make_pkg(tmp_path, WORKER_PKG)
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS603"] == []
+
+    def test_escaping_handle_is_clean(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "class Pool:\n"
+            "    def launch(self, job):\n"
+            "        process = multiprocessing.Process(target=job)\n"
+            "        process.start()\n"
+            "        self.child = process\n"
+        )})
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS603"] == []
+
+    def test_unclosed_queue_fires(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "def scratch():\n"
+            "    queue = multiprocessing.Queue()\n"
+            "    queue.put(1)\n"
+            "    return queue.get()\n"
+        )})
+        findings = [f for f in check_fork_safety(model)
+                    if f.rule == "FS603"]
+        assert len(findings) == 1
+        assert "never closed" in findings[0].message
+
+    def test_closed_queue_is_clean(self, tmp_path):
+        model = make_pkg(tmp_path, {"work.py": (
+            "import multiprocessing\n"
+            "def scratch():\n"
+            "    queue = multiprocessing.Queue()\n"
+            "    queue.put(1)\n"
+            "    value = queue.get()\n"
+            "    queue.close()\n"
+            "    return value\n"
+        )})
+        assert [f for f in check_fork_safety(model)
+                if f.rule == "FS603"] == []
+
+
+class TestRealRepository:
+    def test_fleet_worker_is_discovered(self):
+        model = analyze_package()
+        assert "repro.runtime.orchestrator._run_group_job" in \
+            worker_targets(model)
+
+    def test_no_unaudited_fork_findings(self):
+        findings = check_fork_safety()
+        assert [f for f in findings if not f.suppressed] == []

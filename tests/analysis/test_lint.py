@@ -364,6 +364,49 @@ class TestNoqa:
         assert "REP101" in _codes(lint_source(source, "src/mod.py"))
 
 
+class TestBareStdRandom:
+    def test_module_call_fires(self):
+        source = "import random\nx = random.random()\n"
+        assert "REP112" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_import_alias_fires(self):
+        source = "import random as rnd\nx = rnd.choice([1, 2])\n"
+        assert "REP112" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_from_import_flagged_at_the_import(self):
+        source = "from random import shuffle\n"
+        violations = lint_source(source, "src/mod.py")
+        assert _codes(violations) == ["REP112"]
+        assert violations[0].line == 1
+
+    def test_local_random_instance_is_sanctioned(self):
+        source = ("import random\n"
+                  "def f(seed):\n"
+                  "    return random.Random(seed).random()\n")
+        assert "REP112" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_system_random_is_sanctioned(self):
+        source = "from random import SystemRandom\n"
+        assert not lint_source(source, "src/mod.py")
+
+    def test_repo_random_module_not_confused_with_stdlib(self):
+        # `from repro.nn import random` binds the repo module to the
+        # same bare name; its API must stay usable
+        source = ("from repro.nn import random\n"
+                  "__all__ = ['f']\n"
+                  "def f():\n"
+                  "    return random.default_rng()\n")
+        assert not lint_source(source, "src/mod.py")
+
+    def test_tests_and_benchmarks_exempt(self):
+        source = "import random\nx = random.random()\n"
+        assert not lint_source(source, "tests/mod.py")
+
+    def test_noqa_suppresses(self):
+        source = "import random\nx = random.random()  # noqa: REP112\n"
+        assert not lint_source(source, "src/mod.py")
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         violations = lint_source("def broken(:\n", "src/mod.py")
