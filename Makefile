@@ -7,11 +7,11 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check lint analyze analyze-baseline plan-check plan-baseline \
-        det-check det-baseline test chaos chaos-train drill check-model \
-        obs-overhead help
+        det-check det-baseline test chaos chaos-train chaos-serve drill \
+        check-model obs-overhead bench-serving help
 
-check: lint analyze plan-check det-check test chaos chaos-train drill \
-       obs-overhead
+check: lint analyze plan-check det-check test chaos chaos-train \
+       chaos-serve drill obs-overhead
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -62,6 +62,13 @@ chaos:
 chaos-train:
 	$(PYTHON) -m pytest tests/runtime/test_chaos_train.py -q
 
+# Serving-gateway chaos suite: seeded delivery faults on the full fleet
+# plus workers hard-killed mid-traffic (applied, never acked); zero
+# acknowledged updates may be lost — final worker states must match the
+# fault-free baseline bitwise — and >=90% of services must end HEALTHY.
+chaos-serve:
+	$(PYTHON) -m pytest tests/runtime/test_chaos_serve.py -q
+
 # Closed-loop remediation drill gate: across the seeded scenario matrix
 # (>=30% of services faulted, remediation actions themselves sabotaged),
 # at least 90% of faulted services must converge back to HEALTHY with a
@@ -79,6 +86,12 @@ check-model:
 obs-overhead:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 
+# Serving-gateway throughput/latency benchmark: >=8 services over >=2
+# workers with >=30% injected faults; refreshes BENCH_serving.json (p50/
+# p99 ack latency, points/sec) and fails if any acked update is lost.
+bench-serving:
+	$(PYTHON) benchmarks/bench_serving.py
+
 help:
 	@echo "make check            - lint + analyze + tests + chaos (tier-1 gate)"
 	@echo "make lint             - repo linter (repro.analysis.lint)"
@@ -91,6 +104,8 @@ help:
 	@echo "make test             - pytest"
 	@echo "make chaos            - fault-injection suite (fixed seed matrix)"
 	@echo "make chaos-train      - worker-fault chaos suite (fleet orchestrator)"
+	@echo "make chaos-serve      - serving-gateway chaos suite (loss-free failover)"
 	@echo "make drill            - closed-loop remediation drill gate (>=90% converge)"
 	@echo "make check-model      - static MACE shape/dtype contract check"
 	@echo "make obs-overhead     - telemetry overhead gate (<3% disabled-path cost)"
+	@echo "make bench-serving    - gateway throughput/latency benchmark (BENCH_serving.json)"

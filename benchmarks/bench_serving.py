@@ -1,0 +1,122 @@
+"""Serving-gateway throughput/latency benchmark (`make bench-serving`).
+
+Drives the seeded traffic generator through a full gateway lifecycle
+twice — once fault-free, once with every service carrying a seeded
+delivery fault (rate 1.0 >= the 30% floor) plus a mid-traffic worker
+kill and a slow respawn — and writes ``BENCH_serving.json`` at the repo
+root: p50/p99 ack latency, accepted points/sec, rejection mix, and the
+failover counters.  The faulted arm is also a loss gate: every update
+must be acknowledged exactly once, or the benchmark exits non-zero.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runtime import FaultInjector, GatewayConfig, ServingGateway
+from repro.runtime.gateway import (
+    TrafficConfig,
+    ZScoreDetector,
+    make_fleet_series,
+    run_traffic,
+)
+
+NUM_SERVICES = 8        # >= 8 services ...
+WORKERS = 2             # ... over >= 2 workers (acceptance floor)
+HISTORY = 96
+UPDATES = 100
+FAULT_RATE = 1.0        # >= the 30% injected-fault floor
+FAULT_SEED = 0
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+GATEWAY = dict(workers=WORKERS, window=16, seed=0, snapshot_every=50,
+               queue_depth=512, ack_timeout=5.0, backoff_base=0.01)
+
+
+def _fleet():
+    fleet = make_fleet_series(NUM_SERVICES, HISTORY, UPDATES, seed=0)
+    histories = {sid: series[:HISTORY] for sid, series in fleet.items()}
+    streams = {sid: series[HISTORY:] for sid, series in fleet.items()}
+    return histories, streams
+
+
+def _run_arm(directory, faulted: bool) -> dict:
+    histories, streams = _fleet()
+    detector = ZScoreDetector().fit(
+        sorted(histories), [histories[sid] for sid in sorted(histories)])
+    gateway = ServingGateway(directory, detector, histories,
+                             GatewayConfig(**GATEWAY))
+    plan = None
+    if faulted:
+        injector = FaultInjector(seed=FAULT_SEED)
+        plan = injector.plan_gateway_faults(sorted(histories),
+                                            fault_rate=FAULT_RATE,
+                                            updates=UPDATES)
+        gateway.apply_fault_plan(plan)
+        gateway.schedule_worker_kill("svc-0", after_applies=UPDATES)
+
+    async def session():
+        await gateway.start()
+        started = time.perf_counter()
+        report = await run_traffic(gateway, streams, TrafficConfig(),
+                                   faults=plan)
+        await gateway.drain()      # flush every queued delivery
+        end_to_end = time.perf_counter() - started
+        return report, gateway.status(), end_to_end
+
+    report, status, end_to_end = asyncio.run(session())
+    payload = report.to_payload()
+    payload["end_to_end_seconds"] = end_to_end
+    payload["end_to_end_points_per_second"] = report.accepted / end_to_end
+    payload["respawns"] = sum(shard["respawns"]
+                              for shard in status["shards"].values())
+    payload["shards"] = len(status["shards"])
+    payload["fault_plan"] = ({sid: fault.kind
+                              for sid, fault in sorted(plan.items())}
+                             if plan else {})
+    return payload
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = _run_arm(Path(tmp) / "clean", faulted=False)
+        faulted = _run_arm(Path(tmp) / "faulted", faulted=True)
+    payload = {
+        "benchmark": "serving_gateway",
+        "workload": {"services": NUM_SERVICES, "workers": WORKERS,
+                     "updates_per_service": UPDATES,
+                     "fault_rate": FAULT_RATE, "fault_seed": FAULT_SEED},
+        "clean": clean,
+        "faulted": faulted,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, default=float))
+    print(f"wrote {BENCH_PATH}")
+    total = NUM_SERVICES * UPDATES
+    for arm, result in (("clean", clean), ("faulted", faulted)):
+        print(f"{arm:>8}: {result['end_to_end_points_per_second']:6.0f} "
+              f"points/s end-to-end  "
+              f"ack p50 {result['ack_p50_seconds'] * 1e3:6.2f} ms  "
+              f"p99 {result['ack_p99_seconds'] * 1e3:6.2f} ms  "
+              f"accepted {result['accepted']}/{total}  "
+              f"retries {result['retries']}  "
+              f"respawns {result['respawns']}")
+    lost = [arm for arm, result in (("clean", clean), ("faulted", faulted))
+            if result["accepted"] != total
+            or any(sequence != UPDATES
+                   for sequence in result["final_sequence"].values())]
+    if lost:
+        print(f"FAIL: acknowledged updates lost in arm(s): {lost}")
+        return 1
+    print("ok: every update acknowledged exactly once in both arms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

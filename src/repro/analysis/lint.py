@@ -91,6 +91,21 @@ Rules
     (``from random import shuffle``) are flagged at the import, so the
     draws cannot hide behind a bare name.
 
+``REP113`` unbounded queue in library code
+    An unbounded queue is backpressure deferred until OOM: a producer
+    that outruns its consumer grows the queue silently instead of
+    surfacing an explicit, retryable rejection (the serving gateway's
+    whole admission story).  In ``src/``, ``queue.Queue()`` /
+    ``asyncio.Queue()`` / ``multiprocessing.Queue()`` (and the Lifo /
+    Priority / Joinable variants) must pass a positive ``maxsize``;
+    ``SimpleQueue`` has no capacity parameter and is flagged outright.
+    A synchronous ``.put(item)`` on a bounded queue must also pass
+    ``timeout=`` (or ``block=False`` / use ``put_nowait``) — otherwise a
+    full queue blocks the producer forever, REP108's failure mode
+    through the other end of the pipe.  ``await queue.put(...)`` inside
+    ``async def`` is exempt: asyncio's bounded put *is* the
+    backpressure.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -125,6 +140,8 @@ RULES = {
               "a bare time.sleep retry loop in library code",
     "REP112": "bare stdlib random.* call in library code (thread an "
               "explicit numpy Generator instead)",
+    "REP113": "unbounded queue (no maxsize) or blocking put() without a "
+              "timeout in library code",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -636,12 +653,105 @@ def _check_bare_std_random(tree: ast.AST, path: str,
             ))
 
 
+# Queue constructors that take a capacity bound; SimpleQueue never does.
+_QUEUE_MODULES = {"queue", "asyncio", "multiprocessing"}
+_BOUNDED_QUEUES = {"Queue", "LifoQueue", "PriorityQueue", "JoinableQueue"}
+
+
+def _queue_class_of(node: ast.Call, aliases: dict, named: dict):
+    """The queue class a call constructs, or None."""
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in aliases
+            and func.attr in _BOUNDED_QUEUES | {"SimpleQueue"}):
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in named:
+        return named[func.id]
+    return None
+
+
+def _async_spans(tree: ast.AST) -> set:
+    """ids of every node nested inside an ``async def`` body."""
+    spans: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            for inner in ast.walk(node):
+                spans.add(id(inner))
+    return spans
+
+
+def _check_unbounded_queue(tree: ast.AST, path: str,
+                           out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    aliases: dict = {}          # local name -> queue-bearing module
+    named: dict = {}            # from-imported class name -> class
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name.split(".")[0] in _QUEUE_MODULES:
+                    aliases[item.asname or item.name.split(".")[0]] = \
+                        item.name
+        elif isinstance(node, ast.ImportFrom):
+            if (node.level == 0 and node.module
+                    and node.module.split(".")[0] in _QUEUE_MODULES):
+                for item in node.names:
+                    if item.name in _BOUNDED_QUEUES | {"SimpleQueue"}:
+                        named[item.asname or item.name] = item.name
+    if not aliases and not named:
+        return
+    in_async = _async_spans(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        queue_class = _queue_class_of(node, aliases, named)
+        if queue_class == "SimpleQueue":
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP113",
+                "SimpleQueue has no capacity bound; use Queue(maxsize=...) "
+                "so a stalled consumer surfaces as backpressure, not OOM",
+            ))
+            continue
+        if queue_class is not None:
+            bound = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "maxsize":
+                    bound = keyword.value
+            unbounded = bound is None or (
+                isinstance(bound, ast.Constant)
+                and isinstance(bound.value, int) and bound.value <= 0)
+            if unbounded:
+                out.append(Violation(
+                    path, node.lineno, node.col_offset, "REP113",
+                    f"{queue_class}() without a positive maxsize grows "
+                    "without limit under load; pass an explicit bound and "
+                    "reject (with retry-after) when it fills",
+                ))
+            continue
+        # Synchronous blocking put: full bounded queue wedges the
+        # producer forever.  Awaited puts in async code are exempt —
+        # asyncio's bounded put *is* the backpressure mechanism.
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "put"
+                and node.args and id(node) not in in_async):
+            keywords = {keyword.arg for keyword in node.keywords}
+            if not keywords & {"timeout", "block"}:
+                out.append(Violation(
+                    path, node.lineno, node.col_offset, "REP113",
+                    ".put(item) with no timeout blocks forever on a full "
+                    "queue; pass timeout= (or block=False / put_nowait) "
+                    "and handle the Full verdict",
+                ))
+
+
 _CHECKS = (_check_bare_random, _check_bare_std_random,
            _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
            _check_forward_without_contract, _check_blocking_without_timeout,
            _check_bare_print, _check_uninitialized_empty,
-           _check_remediation_actions)
+           _check_remediation_actions, _check_unbounded_queue)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

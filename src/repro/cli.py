@@ -187,6 +187,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "events dumped into each group directory; "
                             "render with `repro obs report`)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="durable serving gateway demo: WAL-backed shards, seeded "
+             "traffic, loss-free worker failover",
+    )
+    serve.add_argument("--services", type=int, default=8)
+    serve.add_argument("--history", type=int, default=96,
+                       help="calibration points per service")
+    serve.add_argument("--updates", type=int, default=40,
+                       help="live updates per service")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scoring worker processes (shards)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="fleet + shard-map seed")
+    serve.add_argument("--fault-rate", type=float, default=0.0,
+                       help="fraction of services given a seeded delivery "
+                            "or slow-start fault")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault injector (not the fleet)")
+    serve.add_argument("--kill", action="append", default=None,
+                       metavar="SERVICE:APPLIES",
+                       help="hard-kill the shard serving SERVICE after N "
+                            "applied updates (repeatable)")
+    serve.add_argument("--queue-depth", type=int, default=512,
+                       help="per-shard queue bound (backpressure beyond)")
+    serve.add_argument("--dir", dest="directory", default=None,
+                       help="keep run artifacts (WALs, snapshots, "
+                            "events.jsonl, metrics.jsonl) here; render "
+                            "with `repro obs report`")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="preview the seeded gateway traffic: shard map + fault "
+             "plan, no gateway spawned",
+    )
+    traffic.add_argument("--services", type=int, default=8)
+    traffic.add_argument("--history", type=int, default=96)
+    traffic.add_argument("--updates", type=int, default=40)
+    traffic.add_argument("--workers", type=int, default=2)
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--fault-rate", type=float, default=0.0)
+    traffic.add_argument("--fault-seed", type=int, default=0)
+
     obs = sub.add_parser(
         "obs", help="telemetry tooling (see `repro obs report`)"
     )
@@ -684,6 +727,125 @@ def _cmd_drill(args) -> int:
     return 0
 
 
+def _gateway_fleet(args):
+    from repro.runtime.gateway import ZScoreDetector, make_fleet_series
+
+    fleet = make_fleet_series(args.services, args.history, args.updates,
+                              seed=args.seed)
+    histories = {sid: series[:args.history]
+                 for sid, series in fleet.items()}
+    streams = {sid: series[args.history:] for sid, series in fleet.items()}
+    detector = ZScoreDetector().fit(
+        sorted(histories), [histories[sid] for sid in sorted(histories)])
+    return detector, histories, streams
+
+
+def _gateway_fault_plan(args, histories):
+    from repro.runtime import FaultInjector
+
+    if args.fault_rate <= 0.0:
+        return None
+    injector = FaultInjector(seed=args.fault_seed)
+    return injector.plan_gateway_faults(sorted(histories),
+                                        args.fault_rate, args.updates)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import tempfile
+    from pathlib import Path
+
+    from repro.eval import format_table
+    from repro.runtime import GatewayConfig, GatewayError, ServingGateway
+    from repro.runtime.gateway import TrafficConfig, run_traffic
+
+    window = 16                 # streaming calibration needs 2x this
+    if args.history < 2 * window:
+        _out(f"--history must be >= {2 * window} (calibration floor)",
+             file=sys.stderr)
+        return 2
+    detector, histories, streams = _gateway_fleet(args)
+    plan = _gateway_fault_plan(args, histories)
+    config = GatewayConfig(workers=args.workers, seed=args.seed,
+                           window=window, queue_depth=args.queue_depth,
+                           backoff_base=0.01)
+
+    def run(directory) -> int:
+        gateway = ServingGateway(directory, detector, histories, config)
+        for spec in args.kill or []:
+            service_id, _, after = spec.rpartition(":")
+            if not service_id:
+                _out(f"bad --kill {spec!r} (want SERVICE:APPLIES)",
+                     file=sys.stderr)
+                return 2
+            gateway.schedule_worker_kill(service_id, int(after))
+        if plan:
+            gateway.apply_fault_plan(plan)
+
+        async def session():
+            await gateway.start()
+            report = await run_traffic(gateway, streams, TrafficConfig(),
+                                       faults=plan)
+            await gateway.drain()
+            return report, gateway.status()
+
+        report, status = asyncio.run(session())
+        _out(format_table(
+            ("metric", "value"), report.summary_rows(),
+            title=(f"serving gateway: {args.services} services over "
+                   f"{args.workers} worker(s)"),
+        ))
+        _out(format_table(
+            ("shard", "services", "wal records", "respawns"),
+            [(shard_id, shard["services"], shard["wal_lsn"],
+              shard["respawns"])
+             for shard_id, shard in sorted(status["shards"].items())],
+            title="shards (drained cleanly)",
+        ))
+        total = args.services * args.updates
+        if report.accepted != total:
+            _out(f"FAIL: {total - report.accepted} update(s) never "
+                 "acknowledged", file=sys.stderr)
+            return 1
+        _out(f"ok: all {total} updates acknowledged and journalled")
+        return 0
+
+    try:
+        if args.directory is not None:
+            return run(Path(args.directory))
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            return run(Path(tmp))
+    except GatewayError as error:
+        _out(f"gateway failed: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_traffic(args) -> int:
+    from repro.eval import format_table
+    from repro.runtime.gateway import ConsistentHashRing
+
+    _, histories, streams = _gateway_fleet(args)
+    plan = _gateway_fault_plan(args, histories) or {}
+    ring = ConsistentHashRing([f"w{i}" for i in range(args.workers)],
+                              seed=args.seed)
+    rows = []
+    for service_id in sorted(histories):
+        fault = plan.get(service_id)
+        rows.append((
+            service_id, ring.assign(service_id),
+            len(streams[service_id]),
+            fault.kind if fault else "-",
+            fault.at_update if fault else "-",
+        ))
+    _out(format_table(
+        ("service", "shard", "updates", "fault", "at update"), rows,
+        title=(f"seeded gateway traffic: {args.services} services over "
+               f"{args.workers} worker(s), fault rate "
+               f"{args.fault_rate:g} (seed {args.fault_seed})"),
+    ))
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from pathlib import Path
 
@@ -705,6 +867,8 @@ _COMMANDS = {
     "analyze-data": _cmd_analyze_data,
     "chaos": _cmd_chaos,
     "drill": _cmd_drill,
+    "serve": _cmd_serve,
+    "traffic": _cmd_traffic,
     "train-fleet": _cmd_train_fleet,
     "obs": _cmd_obs,
     "lint": _cmd_lint,

@@ -48,6 +48,7 @@ class StreamUpdate:
     used_fallback: bool = False      # score came from the degraded-mode scorer
     imputed_features: tuple = ()     # feature indices repaired before buffering
     clipped_features: tuple = ()     # feature indices clipped to the sane range
+    duplicate: bool = False          # already-applied sequence; state untouched
 
     @property
     def sanitized(self) -> bool:

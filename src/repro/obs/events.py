@@ -79,6 +79,15 @@ EVENT_KINDS = frozenset({
     "incident_resolved",     # incident, service, tick, actions
     "incident_escalated",    # incident, service, tick, actions
     "page",                  # service, tick, reason
+    # Serving gateway (repro.runtime.gateway)
+    "worker_spawn",          # shard, respawns, slow_start
+    "worker_ready",          # shard, applied
+    "worker_failover",       # shard, reason, respawns
+    "wal_replay",            # shard, records, wal_records
+    "overload_transition",   # from_state, to_state, occupancy
+    "tenant_shed",           # tenant, service
+    "drain_start",           # pending
+    "drain_complete",        # shards
 })
 
 

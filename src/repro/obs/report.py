@@ -17,7 +17,10 @@ JSONL artifacts alone — the orchestrator's ``events.jsonl``, each group's
 * **remediation incidents / timeline** — the closed-loop remediation
   story: per incident, the diagnosis, the actions tried with their
   outcomes, and whether recovery verified or escalated, plus the
-  tick-ordered event stream.
+  tick-ordered event stream;
+* **serving gateway** — ack/duplicate/rejection counters with the ack
+  latency quantiles, per-shard WAL/spawn/failover/replay counts, and
+  the overload-ladder transitions, from a gateway run directory.
 
 The same renderer accepts a *flat* run directory (one process writing
 ``events.jsonl`` + ``metrics.jsonl`` + ``spans.jsonl`` at top level):
@@ -119,7 +122,8 @@ def render_report(directory: str | Path, top_k: int = 10) -> str:
     text = _render_top_ops(telemetry, top_k)
     if text:
         sections.append(text)
-    for renderer in (_render_remediation, _render_remediation_timeline):
+    for renderer in (_render_remediation, _render_remediation_timeline,
+                     _render_gateway):
         text = renderer(telemetry)
         if text:
             sections.append(text)
@@ -308,6 +312,107 @@ def _render_remediation_timeline(telemetry: RunTelemetry,
         lines.append(f"  tick {event.get('tick', '?'):>5}  "
                      f"{event.get('kind'):<22} "
                      f"{event.get('service', '?'):<12} {details}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Serving gateway (repro.runtime.gateway)
+# ----------------------------------------------------------------------
+_GATEWAY_KINDS = frozenset({
+    "worker_spawn", "worker_ready", "worker_failover", "wal_replay",
+    "overload_transition", "tenant_shed", "drain_start", "drain_complete",
+})
+
+
+def _gateway_events(telemetry: RunTelemetry) -> List[dict]:
+    events = [e for e in telemetry.fleet_events
+              if e.get("kind") in _GATEWAY_KINDS]
+    for group_events in telemetry.group_events.values():
+        events.extend(e for e in group_events
+                      if e.get("kind") in _GATEWAY_KINDS)
+    return sorted(events, key=lambda e: e.get("seq", 0))
+
+
+def _counter_total(telemetry: RunTelemetry, name: str) -> int:
+    return int(sum(metric.value
+                   for metric in telemetry.metrics.collect(name)))
+
+
+def _counter_by_label(telemetry: RunTelemetry, name: str,
+                      label: str) -> Dict[str, int]:
+    grouped: Dict[str, int] = {}
+    for metric in telemetry.metrics.collect(name):
+        key = dict(metric.labels).get(label, "?")
+        grouped[key] = grouped.get(key, 0) + int(metric.value)
+    return grouped
+
+
+def _render_gateway(telemetry: RunTelemetry) -> Optional[str]:
+    """Serving-gateway section: ack/rejection counters, per-shard
+    failover story, and the overload-ladder timeline — reconstructed
+    from ``events.jsonl`` + ``metrics.jsonl`` alone."""
+    events = _gateway_events(telemetry)
+    accepted = _counter_total(telemetry, "gateway.accepted")
+    if not events and not accepted:
+        return None
+    lines = ["serving gateway"]
+    rejected = _counter_by_label(telemetry, "gateway.rejected", "reason")
+    ack = next((m for m in telemetry.metrics.collect("gateway.ack_seconds")
+                if isinstance(m, Histogram) and m.count), None)
+    summary = (f"  accepted {accepted}  "
+               f"duplicates {_counter_total(telemetry, 'gateway.duplicates')}"
+               f"  rejected {sum(rejected.values())}")
+    if rejected:
+        mix = ", ".join(f"{reason}={count}" for reason, count
+                        in sorted(rejected.items()))
+        summary += f" ({mix})"
+    degraded = _counter_total(telemetry, "gateway.degraded_accepts")
+    if degraded:
+        summary += f"  degraded {degraded}"
+    if ack is not None:
+        summary += (f"  ack p50 {1e3 * ack.quantile(0.5):.2f} ms "
+                    f"p99 {1e3 * ack.quantile(0.99):.2f} ms")
+    lines.append(summary)
+
+    shards: Dict[str, dict] = {}
+    for shard_id, count in _counter_by_label(
+            telemetry, "gateway.wal_appends", "shard").items():
+        shards.setdefault(shard_id, {})["wal"] = count
+    for shard_id, count in _counter_by_label(
+            telemetry, "gateway.failovers", "shard").items():
+        shards.setdefault(shard_id, {})["failovers"] = count
+    for shard_id, count in _counter_by_label(
+            telemetry, "gateway.replayed_records", "shard").items():
+        shards.setdefault(shard_id, {})["replayed"] = count
+    for event in events:
+        shard_id = event.get("shard")
+        if shard_id is None:
+            continue
+        entry = shards.setdefault(str(shard_id), {})
+        if event["kind"] == "worker_spawn":
+            entry["spawns"] = entry.get("spawns", 0) + 1
+    if shards:
+        rows = [(shard_id,
+                 entry.get("wal", 0), entry.get("spawns", 0),
+                 entry.get("failovers", 0), entry.get("replayed", 0))
+                for shard_id, entry in sorted(shards.items())]
+        table = _format_table(
+            ("shard", "wal records", "spawns", "failovers",
+             "replayed"),
+            rows, title="gateway shards")
+        lines.append(table)
+
+    ladder = [e for e in events if e["kind"] == "overload_transition"]
+    for event in ladder[-10:]:
+        lines.append(f"  ladder {event.get('from_state')} -> "
+                     f"{event.get('to_state')} "
+                     f"(occupancy {event.get('occupancy', 0.0):.2f})")
+    shed = [e for e in events if e["kind"] == "tenant_shed"]
+    if shed:
+        lines.append(f"  tenant sheds: {len(shed)}")
+    drained = any(e["kind"] == "drain_complete" for e in events)
+    if drained:
+        lines.append("  drained cleanly")
     return "\n".join(lines)
 
 

@@ -32,6 +32,11 @@ needs:
     (data quality vs. model staleness vs. anomaly storm), applies typed
     idempotent remedies under cooldown/blast-radius guardrails, verifies
     recovery, and escalates to a human when remedies do not hold.
+``repro.runtime.gateway``
+    Durable async serving gateway: consistent-hash sharding onto
+    supervised worker processes, per-shard write-ahead logs that make
+    acks durability promises, bounded queues + admission control under
+    an overload ladder, and loss-free worker failover.
 """
 
 from repro.runtime.checkpoint import (
@@ -52,12 +57,24 @@ from repro.runtime.divergence import (
 )
 from repro.runtime.faults import (
     ACTION_FAULT_KINDS,
+    GATEWAY_FAULT_KINDS,
     WORKER_FAULT_KINDS,
     ActionFault,
     FaultInjector,
     FaultyDetector,
+    GatewayFault,
     InjectedFault,
     WorkerFault,
+)
+from repro.runtime.gateway import (
+    ConsistentHashRing,
+    GatewayConfig,
+    GatewayError,
+    ServingGateway,
+    SubmitResult,
+    TenantPolicy,
+    WalCorruptionError,
+    WriteAheadLog,
 )
 from repro.runtime.health import (
     BreakerConfig,
@@ -99,6 +116,10 @@ __all__ = [
     "FaultInjector", "FaultyDetector", "InjectedFault",
     "WorkerFault", "WORKER_FAULT_KINDS",
     "ActionFault", "ACTION_FAULT_KINDS",
+    "GatewayFault", "GATEWAY_FAULT_KINDS",
+    "ServingGateway", "GatewayConfig", "GatewayError", "SubmitResult",
+    "ConsistentHashRing", "TenantPolicy",
+    "WriteAheadLog", "WalCorruptionError",
     "RemediationController", "RemediationConfig",
     "run_drill", "DrillConfig", "DrillReport",
     "DivergenceGuard", "DivergenceError", "DivergenceEvent",

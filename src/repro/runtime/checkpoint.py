@@ -49,6 +49,7 @@ __all__ = [
 
 _FORMAT = "repro.training-checkpoint.v1"
 _STREAM_FORMAT = "repro.streaming-state.v1"
+_SERVING_FORMAT = "repro.serving-state.v1"
 _MODEL_PREFIX = "model/"
 _OPTIM_PREFIX = "optim/"
 
@@ -254,6 +255,12 @@ def save_streaming_state(streaming, path: str | Path) -> Path:
 
     The snapshot holds ring buffers and SPOT state for every started
     service; restoring it skips the per-service calibration pass entirely.
+
+    A :class:`~repro.runtime.serving.ServingRuntime` (anything with a
+    ``.streaming`` attribute) may be passed instead, in which case the
+    snapshot additionally records the per-service applied-sequence
+    high-water marks so at-least-once duplicate detection survives a
+    restart — the property WAL replay into a restored runtime depends on.
     """
     path = Path(path)
     atomic_replace(
@@ -264,7 +271,13 @@ def save_streaming_state(streaming, path: str | Path) -> Path:
 
 
 def load_streaming_state(streaming, path: str | Path) -> None:
-    """Restore a snapshot written by :func:`save_streaming_state`."""
+    """Restore a snapshot written by :func:`save_streaming_state`.
+
+    Both snapshot formats load into either target: a serving snapshot
+    restored into a bare :class:`StreamingDetector` simply discards the
+    sequence marks, and a streaming snapshot restored into a
+    :class:`ServingRuntime` leaves the marks at their current values.
+    """
     path = Path(path)
     if not path.is_file():
         raise CheckpointError(f"streaming state file does not exist: {path}")
@@ -274,7 +287,16 @@ def load_streaming_state(streaming, path: str | Path) -> None:
         raise CheckpointError(
             f"streaming state {path} is corrupted: {error}"
         ) from error
-    if not isinstance(state, dict) or state.get("format") != _STREAM_FORMAT:
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path} is not a streaming state snapshot")
+    fmt = state.get("format")
+    is_serving_target = hasattr(streaming, "streaming")
+    if fmt == _SERVING_FORMAT and not is_serving_target:
+        state = state["streaming"]              # discard sequence marks
+        fmt = state.get("format") if isinstance(state, dict) else None
+    elif fmt == _STREAM_FORMAT and is_serving_target:
+        streaming = streaming.streaming         # marks stay as they are
+    if fmt not in (_STREAM_FORMAT, _SERVING_FORMAT):
         raise CheckpointError(
             f"{path} is not a streaming state snapshot"
         )

@@ -22,7 +22,13 @@ production actually sees:
   deterministic schedule of remediation-path failures (``action_fail``,
   ``action_hang``, ``recovery_relapse``) so the closed-loop drill
   harness (:mod:`repro.runtime.remediation.drill`) can chaos-test the
-  remediation machinery itself, not just the scoring path it repairs.
+  remediation machinery itself, not just the scoring path it repairs;
+* **gateway faults** — :meth:`FaultInjector.plan_gateway_faults` draws a
+  deterministic schedule of network/queue-level delivery failures
+  (``deliver_delayed``, ``deliver_duplicate``, ``deliver_dropped``,
+  ``worker_slow_start``) that the serving gateway's traffic generator
+  (:mod:`repro.runtime.gateway`) executes on the client side of the ack
+  protocol, plus worker kills mid-traffic scheduled by the chaos suite.
 """
 
 from __future__ import annotations
@@ -38,13 +44,17 @@ from repro.core.detector import AnomalyDetector
 
 __all__ = ["InjectedFault", "FaultInjector", "FaultyDetector",
            "WorkerFault", "WORKER_FAULT_KINDS",
-           "ActionFault", "ACTION_FAULT_KINDS"]
+           "ActionFault", "ACTION_FAULT_KINDS",
+           "GatewayFault", "GATEWAY_FAULT_KINDS"]
 
 _CORRUPTION_KINDS = ("nan", "inf", "spike", "drop")
 
 WORKER_FAULT_KINDS = ("worker_kill", "worker_hang", "nan_grad")
 
 ACTION_FAULT_KINDS = ("action_fail", "action_hang", "recovery_relapse")
+
+GATEWAY_FAULT_KINDS = ("deliver_delayed", "deliver_duplicate",
+                       "deliver_dropped", "worker_slow_start")
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,52 @@ class ActionFault:
             raise ValueError("relapse_ticks must be >= 1")
 
 
+@dataclass(frozen=True)
+class GatewayFault:
+    """One scheduled delivery-path fault for a gateway service stream.
+
+    Delivery faults fire on the client side of the ack protocol at the
+    service's ``at_update``-th submission (1-based): ``deliver_delayed``
+    holds the submission back for ``delay_updates`` ticks of the traffic
+    schedule before sending it; ``deliver_duplicate`` sends the same
+    sequence twice (idempotent apply must absorb the second copy);
+    ``deliver_dropped`` loses the first transmission so the at-least-once
+    client must retry it.  ``worker_slow_start`` is worker-side: every
+    (re)spawn of the shard serving this service stalls ``delay_seconds``
+    before draining its queue, exercising backpressure during warm-up.
+    ``repeat=True`` re-fires the fault on every subsequent multiple of
+    ``at_update`` instead of once.
+    """
+
+    kind: str
+    at_update: int = 1
+    delay_updates: int = 2
+    delay_seconds: float = 0.2
+    repeat: bool = False
+
+    def __post_init__(self):
+        if self.kind not in GATEWAY_FAULT_KINDS:
+            raise ValueError(
+                f"unknown gateway fault kind {self.kind!r}; "
+                f"expected one of {GATEWAY_FAULT_KINDS}"
+            )
+        if self.at_update < 1:
+            raise ValueError("at_update must be >= 1")
+        if self.delay_updates < 1:
+            raise ValueError("delay_updates must be >= 1")
+        if self.delay_seconds < 0.0:
+            raise ValueError("delay_seconds must be >= 0")
+
+    def fires_at(self, update_index: int) -> bool:
+        """Whether this fault fires on the service's ``update_index``-th
+        submission (1-based)."""
+        if update_index < 1:
+            return False
+        if self.repeat:
+            return update_index % self.at_update == 0
+        return update_index == self.at_update
+
+
 class InjectedFault(RuntimeError):
     """Raised from an injected scoring-path fault."""
 
@@ -156,6 +212,7 @@ class FaultInjector:
         self.scoring_faults = 0
         self.worker_faults_planned = 0
         self.action_faults_planned = 0
+        self.gateway_faults_planned = 0
 
     # ------------------------------------------------------------------
     # Observation faults
@@ -276,6 +333,47 @@ class FaultInjector:
             plan[service_id] = ActionFault(kind, relapse_ticks=relapse_ticks,
                                            repeat=repeat)
             self.action_faults_planned += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # Gateway faults (serving gateway delivery path)
+    # ------------------------------------------------------------------
+    def plan_gateway_faults(self, service_ids: Sequence[str],
+                            fault_rate: float, updates: int,
+                            kinds: Sequence[str] = GATEWAY_FAULT_KINDS,
+                            delay_updates: int = 2,
+                            delay_seconds: float = 0.2,
+                            repeat: bool = False) -> Dict[str, "GatewayFault"]:
+        """Draw a deterministic delivery-fault schedule for a traffic run.
+
+        The mirror of :meth:`plan_worker_faults` for the gateway's ack
+        protocol: each service in ``service_ids`` (order matters — it is
+        part of the seeded draw) is assigned a :class:`GatewayFault` with
+        probability ``fault_rate``, firing at an update index drawn in
+        ``[1, updates]``.  The traffic generator executes delivery faults
+        client-side; ``worker_slow_start`` is handed to the gateway's
+        worker spawn path.
+        """
+        unknown = sorted(set(kinds) - set(GATEWAY_FAULT_KINDS))
+        if unknown:
+            raise ValueError(f"unknown gateway fault kinds: {unknown}")
+        if not kinds:
+            raise ValueError("need at least one gateway fault kind")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if updates < 1:
+            raise ValueError("updates must be >= 1")
+        plan: Dict[str, GatewayFault] = {}
+        for service_id in service_ids:
+            if self._rng.random() >= fault_rate:
+                continue
+            kind = kinds[int(self._rng.integers(len(kinds)))]
+            at_update = 1 + int(self._rng.integers(updates))
+            plan[service_id] = GatewayFault(
+                kind, at_update=at_update, delay_updates=delay_updates,
+                delay_seconds=delay_seconds, repeat=repeat,
+            )
+            self.gateway_faults_planned += 1
         return plan
 
     # ------------------------------------------------------------------

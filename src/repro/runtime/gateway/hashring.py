@@ -1,0 +1,122 @@
+"""Consistent-hash shard map: which worker owns which service.
+
+The gateway pins every service id to exactly one scoring worker so that
+per-service state (ring buffer, SPOT threshold, sequence high-water) has
+a single writer.  A plain ``hash(service) % workers`` map would reshuffle
+almost every service whenever the pool grows or shrinks; the classic
+consistent-hash ring bounds that churn to ~``K/N`` keys per membership
+change, which is what keeps worker failover cheap: only the dead worker's
+services move.
+
+Hashing uses ``blake2b`` over explicit byte strings — never Python's
+builtin ``hash``, whose per-process salt (PYTHONHASHSEED) would give
+every run a different shard map.  Equal ``(workers, replicas, seed)``
+therefore always produce the identical ring, which the chaos suite's
+bitwise-recovery checks rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _point(seed: int, label: str) -> int:
+    """Deterministic 64-bit ring position for one labelled point."""
+    digest = hashlib.blake2b(
+        f"{seed}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker ids (order-insensitive: the ring is a pure
+        function of the member *set* plus ``replicas`` and ``seed``).
+    replicas:
+        Virtual nodes per worker.  More replicas smooth the key
+        distribution at the cost of a larger ring; 64 keeps the spread
+        within a few percent for double-digit worker counts.
+    seed:
+        Folded into every hashed label so distinct gateways can run
+        distinct (but individually stable) shard maps.
+    """
+
+    def __init__(self, workers: Sequence[str] = (), replicas: int = 64,
+                 seed: int = 0):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.seed = seed
+        self._workers: Dict[str, List[int]] = {}
+        self._points: List[int] = []        # sorted ring positions
+        self._owners: List[str] = []        # parallel to _points
+        for worker in workers:
+            self.add_worker(worker)
+
+    # ------------------------------------------------------------------
+    def workers(self) -> Tuple[str, ...]:
+        """Current members, sorted."""
+        return tuple(sorted(self._workers))
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def add_worker(self, worker: str) -> None:
+        """Add a member (``replicas`` virtual nodes)."""
+        if worker in self._workers:
+            raise ValueError(f"worker {worker!r} already on the ring")
+        self._workers[worker] = [
+            _point(self.seed, f"{worker}#{replica}")
+            for replica in range(self.replicas)
+        ]
+        self._rebuild()
+
+    def remove_worker(self, worker: str) -> None:
+        """Drop a member; its keys redistribute to ring successors."""
+        if worker not in self._workers:
+            raise KeyError(f"worker {worker!r} not on the ring")
+        del self._workers[worker]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # Ties (two members hashing to one point) resolve by sorted
+        # member id, keeping the ring a pure function of the member set.
+        ring = sorted(
+            (point, member)
+            for member, points in self._workers.items()
+            for point in points
+        )
+        self._points = [point for point, _ in ring]
+        self._owners = [member for _, member in ring]
+
+    # ------------------------------------------------------------------
+    def assign(self, key: str) -> str:
+        """The worker owning ``key``: first ring point clockwise of it."""
+        if not self._points:
+            raise RuntimeError("ring has no workers")
+        point = _point(self.seed, f"key:{key}")
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Map every key to its owning worker."""
+        return {key: self.assign(key) for key in keys}
+
+    def shards(self, keys: Sequence[str]) -> Dict[str, Tuple[str, ...]]:
+        """Inverse view: worker id -> the keys it owns (every member
+        appears, even with no keys)."""
+        grouped: Dict[str, List[str]] = {worker: []
+                                         for worker in self._workers}
+        for key in keys:
+            grouped[self.assign(key)].append(key)
+        return {worker: tuple(owned) for worker, owned in grouped.items()}

@@ -155,6 +155,7 @@ class ServingRuntime:
         self._fallbacks: Dict[str, SpectralFallbackScorer] = {}
         self._latency: Dict[str, object] = {}   # per-service histograms
         self._reported_transitions: Dict[str, int] = {}
+        self._applied_sequence: Dict[str, int] = {}  # at-least-once high water
         self._listeners: List[Callable[[str, int, HealthState, HealthState],
                                        None]] = []
 
@@ -181,6 +182,7 @@ class ServingRuntime:
         self._latency[service_id] = self.registry.histogram(
             "serving.update_seconds", service=service_id)
         self._reported_transitions[service_id] = 0
+        self._applied_sequence[service_id] = 0
 
     def services(self) -> tuple:
         return tuple(self._health)
@@ -239,7 +241,9 @@ class ServingRuntime:
     # The loop
     # ------------------------------------------------------------------
     def update(self, service_id: str,
-               observation: Optional[np.ndarray]) -> StreamUpdate:
+               observation: Optional[np.ndarray],
+               sequence: Optional[int] = None,
+               force_fallback: bool = False) -> StreamUpdate:
         """Feed one observation (or ``None`` for a dropped sample).
 
         Scoring failures — exceptions or non-finite output from the model
@@ -247,7 +251,24 @@ class ServingRuntime:
         scorer answers instead.  Only usage errors (unknown service, wrong
         feature count) propagate.
 
-        Every update lands in the per-service latency histogram
+        ``sequence`` makes the update idempotent under at-least-once
+        delivery: pass the service's monotonic update number and a
+        re-delivered (``sequence <= applied_sequence``) observation is
+        skipped without touching any state — the returned outcome carries
+        ``duplicate=True``.  The high-water mark survives restarts through
+        the serving-state snapshot
+        (:func:`repro.runtime.checkpoint.save_streaming_state`), which is
+        what makes WAL replay into a restored runtime exact rather than
+        merely approximate.
+
+        ``force_fallback=True`` skips the model path entirely and answers
+        from the spectral fallback scorer (the gateway's overload-ladder
+        DEGRADED rung: shed model cost before refusing traffic).  The
+        ring buffer still advances and SPOT is not stepped — exactly the
+        breaker's own fallback semantics — so a WAL that records the flag
+        replays to the identical state.
+
+        Every applied update lands in the per-service latency histogram
         (``serving.update_seconds``), and any health-state transition it
         caused is counted (``serving.health_transitions``) and emitted as
         a ``health_transition`` event — ``breaker_trip`` when the breaker
@@ -257,13 +278,75 @@ class ServingRuntime:
             raise KeyError(
                 f"service {service_id!r} not started; call start_service()"
             )
+        if sequence is not None:
+            if sequence < 1:
+                raise ValueError(
+                    f"sequence must be a positive update number, "
+                    f"got {sequence}"
+                )
+            if sequence <= self._applied_sequence[service_id]:
+                return self._duplicate_outcome(service_id)
         started = time.perf_counter()  # effects: ok TIME reason=latency measurement is telemetry, never model input
         try:
             with span("serving.update"):
-                return self._update(service_id, observation)
+                outcome = self._update(service_id, observation,
+                                       force_fallback=force_fallback)
+            if sequence is not None:
+                self._applied_sequence[service_id] = sequence
+            return outcome
         finally:
             self._latency[service_id].observe(time.perf_counter() - started)  # effects: ok TIME reason=latency measurement is telemetry, never model input
             self._report_transitions(service_id)
+
+    def applied_sequence(self, service_id: str) -> int:
+        """High-water mark of applied update sequences (0 before any)."""
+        if service_id not in self._applied_sequence:
+            raise KeyError(
+                f"service {service_id!r} not started; call start_service()"
+            )
+        return self._applied_sequence[service_id]
+
+    def _duplicate_outcome(self, service_id: str) -> StreamUpdate:
+        """Answer a re-delivered sequence without touching any state."""
+        health = self._health[service_id]
+        stream = self.streaming._streams[service_id]
+        return StreamUpdate(
+            score=0.0, is_alert=False,
+            ready=stream.filled >= self.window,
+            threshold=self.streaming.threshold(service_id),
+            health=health.state.value,
+            duplicate=True,
+        )
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: streaming state + sequence marks.
+
+        Wraps :meth:`StreamingDetector.state_dict` with the per-service
+        applied-sequence high-water marks, so a restored runtime resumes
+        duplicate detection exactly where the snapshot left off.
+        """
+        return {
+            "format": "repro.serving-state.v1",
+            "streaming": self.streaming.state_dict(),
+            "applied_sequence": dict(self._applied_sequence),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into started services."""
+        if state.get("format") != "repro.serving-state.v1":
+            raise ValueError(
+                f"unrecognised serving state format: {state.get('format')!r}"
+            )
+        self.streaming.load_state_dict(state["streaming"])
+        for service_id in self.streaming.services():
+            if service_id not in self._health:
+                raise ValueError(
+                    f"snapshot holds service {service_id!r} which was never "
+                    "started on this runtime; call start_service() first"
+                )
+        marks = state.get("applied_sequence", {})
+        for service_id, mark in marks.items():
+            self._applied_sequence[service_id] = int(mark)
 
     def _report_transitions(self, service_id: str) -> None:
         """Turn newly recorded state transitions into metrics + events."""
@@ -294,7 +377,8 @@ class ServingRuntime:
                 listener(service_id, tick, from_state, to_state)
 
     def _update(self, service_id: str,
-                observation: Optional[np.ndarray]) -> StreamUpdate:
+                observation: Optional[np.ndarray],
+                force_fallback: bool = False) -> StreamUpdate:
         sanitizer = self._sanitizers[service_id]
         health = self._health[service_id]
         health.tick()
@@ -310,7 +394,7 @@ class ServingRuntime:
                                  used_fallback=False)
 
         score: Optional[float] = None
-        if health.allow_model():
+        if not force_fallback and health.allow_model():
             score = self._try_model(service_id, health)
         if score is not None:
             is_alert = self.streaming.step_threshold(service_id, score)

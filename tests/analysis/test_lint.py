@@ -407,6 +407,66 @@ class TestBareStdRandom:
         assert not lint_source(source, "src/mod.py")
 
 
+class TestUnboundedQueue:
+    def test_bare_queue_fires(self):
+        source = "import queue\nq = queue.Queue()\n"
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_bare_asyncio_queue_fires(self):
+        source = "import asyncio\nq = asyncio.Queue()\n"
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_zero_maxsize_fires(self):
+        # maxsize=0 is the stdlib's spelling of "unbounded".
+        source = "import asyncio\nq = asyncio.Queue(maxsize=0)\n"
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_bounded_queue_passes(self):
+        source = ("import queue\nimport asyncio\n"
+                  "a = queue.Queue(maxsize=64)\n"
+                  "b = asyncio.Queue(16)\n")
+        assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_from_import_tracked(self):
+        source = "from asyncio import Queue\nq = Queue()\n"
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_simple_queue_always_fires(self):
+        source = ("from multiprocessing import SimpleQueue\n"
+                  "q = SimpleQueue()\n")
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_sync_put_without_timeout_fires(self):
+        source = ("import queue\nq = queue.Queue(maxsize=4)\n"
+                  "def feed(item):\n    q.put(item)\n")
+        assert "REP113" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_put_with_timeout_or_nowait_passes(self):
+        source = ("import queue\nq = queue.Queue(maxsize=4)\n"
+                  "def feed(item):\n"
+                  "    q.put(item, timeout=1.0)\n"
+                  "    q.put(item, block=False)\n"
+                  "    q.put_nowait(item)\n")
+        assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_awaited_put_in_async_code_exempt(self):
+        source = ("import asyncio\nq = asyncio.Queue(maxsize=4)\n"
+                  "async def feed(item):\n    await q.put(item)\n")
+        assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_unrelated_put_without_queue_import_exempt(self):
+        source = "def store(cache, key):\n    cache.put(key)\n"
+        assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = "import queue\nq = queue.Queue()\n"
+        assert "REP113" not in _codes(lint_source(source, "tests/mod.py"))
+
+    def test_noqa_suppresses(self):
+        source = "import queue\nq = queue.Queue()  # noqa: REP113\n"
+        assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         violations = lint_source("def broken(:\n", "src/mod.py")

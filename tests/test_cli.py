@@ -171,3 +171,68 @@ class TestObsCommand:
         assert args.obs is True
         args = build_parser().parse_args(["train-fleet"])
         assert args.obs is False
+
+
+class TestServeCommand:
+    """Golden-file coverage for the serving-gateway CLI.
+
+    The serve pipeline is seeded end to end (fleet synthesis, shard
+    placement, fault plan, worker kill), so its rendered output is
+    bitwise stable and committed as ``golden_serve.txt``.
+    """
+
+    ARGS = ["serve", "--services", "4", "--history", "64",
+            "--updates", "12", "--fault-rate", "1.0",
+            "--fault-seed", "1", "--kill", "svc-0:10"]
+
+    def test_matches_golden_output(self, capsys):
+        from pathlib import Path
+
+        assert main(self.ARGS) == 0
+        golden = (Path(__file__).parent / "golden_serve.txt").read_text()
+        assert capsys.readouterr().out == golden
+
+    def test_bad_kill_spec(self, capsys):
+        assert main(["serve", "--services", "2", "--history", "64",
+                     "--updates", "4", "--kill", "nocolon"]) == 2
+        assert "bad --kill" in capsys.readouterr().err
+
+    def test_history_below_calibration_floor(self, capsys):
+        assert main(["serve", "--services", "2", "--history", "16",
+                     "--updates", "4"]) == 2
+        assert "calibration floor" in capsys.readouterr().err
+
+    def test_obs_report_renders_gateway_section(self, tmp_path, capsys):
+        # the gateway leaves events.jsonl + metrics.jsonl behind; the
+        # obs report must reconstruct the serving story from those alone
+        assert main(["serve", "--services", "2", "--history", "64",
+                     "--updates", "4", "--workers", "1",
+                     "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serving gateway" in out
+        assert "drained cleanly" in out
+
+
+class TestTrafficCommand:
+    """The traffic preview is pure planning — no workers — and seeded."""
+
+    ARGS = ["traffic", "--services", "4", "--history", "64",
+            "--updates", "12", "--fault-rate", "1.0", "--fault-seed", "1"]
+
+    def test_matches_golden_output(self, capsys):
+        from pathlib import Path
+
+        assert main(self.ARGS) == 0
+        golden = (Path(__file__).parent / "golden_traffic.txt").read_text()
+        assert capsys.readouterr().out == golden
+
+    def test_fault_free_preview_has_no_faults(self, capsys):
+        assert main(["traffic", "--services", "3", "--history", "64",
+                     "--updates", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault rate 0" in out
+        # every fault column entry is the "-" placeholder
+        for line in out.splitlines()[3:]:
+            assert " - " in line
