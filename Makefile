@@ -8,10 +8,10 @@ export PYTHONPATH := src
 
 .PHONY: check lint analyze analyze-baseline plan-check plan-baseline \
         det-check det-baseline test chaos chaos-train chaos-serve drill \
-        check-model obs-overhead bench-serving help
+        check-model obs-overhead bench-obs-trace bench-serving help
 
 check: lint analyze plan-check det-check test chaos chaos-train \
-       chaos-serve drill obs-overhead
+       chaos-serve drill obs-overhead bench-obs-trace
 
 lint:
 	$(PYTHON) -m repro.analysis.lint
@@ -86,6 +86,13 @@ check-model:
 obs-overhead:
 	$(PYTHON) benchmarks/bench_obs_overhead.py
 
+# Trace-propagation benchmark: re-verifies the <3% disabled-path gate
+# with the propagation code in place (reduced rounds) and records the
+# per-op cost of the trace primitives into BENCH_obs.json's "trace"
+# section.
+bench-obs-trace:
+	$(PYTHON) benchmarks/bench_obs_trace.py
+
 # Serving-gateway throughput/latency benchmark: >=8 services over >=2
 # workers with >=30% injected faults; refreshes BENCH_serving.json (p50/
 # p99 ack latency, points/sec) and fails if any acked update is lost.
@@ -108,4 +115,5 @@ help:
 	@echo "make drill            - closed-loop remediation drill gate (>=90% converge)"
 	@echo "make check-model      - static MACE shape/dtype contract check"
 	@echo "make obs-overhead     - telemetry overhead gate (<3% disabled-path cost)"
+	@echo "make bench-obs-trace  - trace-propagation bench + overhead gate re-verify"
 	@echo "make bench-serving    - gateway throughput/latency benchmark (BENCH_serving.json)"

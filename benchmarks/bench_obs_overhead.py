@@ -112,14 +112,15 @@ def _median(values) -> float:
     return 0.5 * (ordered[mid - 1] + ordered[mid])
 
 
-def measure_overhead(dataset) -> dict:
+def measure_overhead(dataset, repeats: int = REPEATS) -> dict:
     """Paired comparison: shipped (obs disabled) vs span-stripped.
 
     Both arms run adjacently within each round (order alternating, so
     allocator/cache drift cannot systematically favour either) and the
     overhead estimate is the **median of per-round differences** — a
     load spike hitting one round cannot swing the verdict the way it
-    swings a best-of-N of absolute times.
+    swings a best-of-N of absolute times.  ``repeats`` is the round
+    count (``bench_obs_trace`` re-verifies the gate with fewer rounds).
     """
     disable_tracing()
     shipped, stripped = [], []
@@ -132,7 +133,7 @@ def measure_overhead(dataset) -> dict:
     def run_shipped():
         shipped.append(_fit_once(dataset))
 
-    for round_index in range(REPEATS):
+    for round_index in range(repeats):
         first, second = ((run_stripped, run_shipped) if round_index % 2 == 0
                          else (run_shipped, run_stripped))
         first()
@@ -142,7 +143,7 @@ def measure_overhead(dataset) -> dict:
     baseline = _median(stripped)
     ratio = 1.0 + delta / baseline if baseline > 0 else 1.0
     return {
-        "repeats": REPEATS,
+        "repeats": repeats,
         "shipped_seconds": shipped,
         "stripped_seconds": stripped,
         "baseline_seconds": baseline,

@@ -106,6 +106,17 @@ Rules
     ``async def`` is exempt: asyncio's bounded put *is* the
     backpressure.
 
+``REP114`` event kind not declared in the schema registry
+    The event log is only replayable because every ``kind`` string has a
+    declared field schema in ``repro.obs.events.EVENT_KINDS`` — the
+    report, the ops console, and the remediation controller all dispatch
+    on it.  An ``emit("new_kind", ...)`` whose kind is missing from the
+    registry produces events that every offline consumer silently drops.
+    In ``src/``, any ``emit`` / ``emit_event`` / ``._emit`` / ``.emit``
+    / ``.append`` call whose first argument is a string literal must use
+    a kind declared in ``EVENT_KINDS``.  Variable kinds (forwarding
+    wrappers) are exempt — they are the plumbing, not the call site.
+
 A ``# noqa: REP102`` comment (or a bare ``# noqa``) on the offending line
 suppresses a violation — reserved for code that deliberately exercises the
 forbidden pattern, e.g. tests of the tape-mutation guard itself.
@@ -142,6 +153,8 @@ RULES = {
               "explicit numpy Generator instead)",
     "REP113": "unbounded queue (no maxsize) or blocking put() without a "
               "timeout in library code",
+    "REP114": "emitted event kind not declared in the "
+              "repro.obs.events.EVENT_KINDS schema registry",
 }
 
 # np.random attributes that are constructors of seeded generators, not
@@ -746,12 +759,64 @@ def _check_unbounded_queue(tree: ast.AST, path: str,
                 ))
 
 
+# Names whose *call* is an event emission when the first argument is a
+# string literal.  ``emit``/``emit_event`` cover the module-level helper
+# (and its conventional import alias); ``.emit``/``._emit`` cover
+# EventLog and the per-component wrapper methods; ``.append`` covers the
+# EventLog spelling only when keywords are present (a plain
+# ``list.append("x")`` never passes keywords).
+_EMIT_NAMES = {"emit", "emit_event"}
+_EMIT_ATTRS = {"emit", "_emit"}
+
+
+def _declared_event_kinds() -> frozenset:
+    # Imported lazily so lint_source stays usable on machines where the
+    # obs package (or its transitive deps) is not importable.
+    try:
+        from repro.obs.events import EVENT_KINDS
+    except Exception:
+        return frozenset()
+    return frozenset(EVENT_KINDS)
+
+
+def _check_undeclared_event_kind(tree: ast.AST, path: str,
+                                 out: List[Violation]) -> None:
+    normalized = path.replace("\\", "/")
+    if "/src/" not in f"/{normalized}":
+        return
+    declared = _declared_event_kinds()
+    if not declared:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue                      # variable kind: forwarding wrapper
+        func = node.func
+        if isinstance(func, ast.Name):
+            is_emit = func.id in _EMIT_NAMES
+        elif isinstance(func, ast.Attribute):
+            is_emit = func.attr in _EMIT_ATTRS or (
+                func.attr == "append" and bool(node.keywords))
+        else:
+            is_emit = False
+        if is_emit and first.value not in declared:
+            out.append(Violation(
+                path, node.lineno, node.col_offset, "REP114",
+                f"event kind {first.value!r} is not declared in "
+                "repro.obs.events.EVENT_KINDS; offline consumers drop "
+                "undeclared kinds — add it to the schema registry",
+            ))
+
+
 _CHECKS = (_check_bare_random, _check_bare_std_random,
            _check_data_mutation, _check_float32,
            _check_missing_all, _check_bare_except, _check_mutable_default,
            _check_forward_without_contract, _check_blocking_without_timeout,
            _check_bare_print, _check_uninitialized_empty,
-           _check_remediation_actions, _check_unbounded_queue)
+           _check_remediation_actions, _check_unbounded_queue,
+           _check_undeclared_event_kind)
 
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)

@@ -242,6 +242,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="run directory (e.g. a train-fleet --dir)")
     obs_report.add_argument("--top", type=int, default=10,
                             help="top-k autograd ops to show (default 10)")
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="live ops console: health, queues, error budgets, burns",
+    )
+    obs_top.add_argument("--dir", dest="directory", required=True,
+                         help="run directory (live or finished)")
+    obs_top.add_argument("--once", action="store_true",
+                         help="render one snapshot and exit (no refresh)")
+    obs_top.add_argument("--interval", type=float, default=2.0,
+                         help="refresh period in seconds (default 2)")
+    obs_top.add_argument("--iterations", type=int, default=None,
+                         help="stop after N renders (default: forever)")
 
     check = sub.add_parser(
         "check-model", help="statically validate MACE shape/dtype contracts"
@@ -849,12 +861,17 @@ def _cmd_traffic(args) -> int:
 def _cmd_obs(args) -> int:
     from pathlib import Path
 
-    from repro.obs.report import render_report
-
     directory = Path(args.directory)
     if not directory.is_dir():
         _out(f"not a directory: {directory}", file=sys.stderr)
         return 2
+    if args.obs_command == "top":
+        from repro.obs.console import run_top
+
+        return run_top(directory, once=args.once, interval=args.interval,
+                       iterations=args.iterations, printer=_out)
+    from repro.obs.report import render_report
+
     _out(render_report(directory, top_k=args.top))
     return 0
 

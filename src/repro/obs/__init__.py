@@ -20,6 +20,18 @@ reproduction measures it from the inside (DESIGN.md §11):
     ``repro obs report`` — per-phase time/memory breakdown, top-k ops,
     epoch timeline and fleet attempt tables from a run directory's JSONL
     artifacts alone.
+``repro.obs.propagate``
+    Cross-process trace propagation: the deterministic
+    :class:`TraceContext` minted at gateway admission, the wire format
+    that rides WAL frames and worker IPC, and the append-only
+    ``spans.jsonl`` trace sink with offline tree assembly.
+``repro.obs.slo``
+    Declarative SLOs over the streaming metrics: error budgets,
+    multi-window burn-rate alerts (``slo_burn`` events), and the
+    budget/burn gauges behind ``repro obs top``.
+``repro.obs.console``
+    ``repro obs top`` — the live ops console (service health, shard
+    queues, budgets, active burns) rendered from JSONL alone.
 
 Everything is off-or-cheap by default: metrics always record (a few
 float ops per event), tracing must be enabled explicitly, and the event
@@ -56,7 +68,22 @@ from repro.obs.tracing import (
     span,
     tracing_enabled,
 )
+from repro.obs.propagate import (
+    TraceContext,
+    TraceLog,
+    build_trace_tree,
+    read_trace_spans,
+    render_trace_tree,
+    spans_by_trace,
+)
 from repro.obs.report import RunTelemetry, load_run, render_report
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SloEngine,
+    SloObjective,
+)
+from repro.obs.console import render_top, run_top
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "P2Quantile", "MetricsRegistry",
@@ -66,5 +93,9 @@ __all__ = [
     "tracing_enabled", "current_tracer", "profile_ops",
     "EventLog", "EVENT_KINDS", "SCHEMA_VERSION", "emit", "get_event_log",
     "install_event_log", "read_events",
+    "TraceContext", "TraceLog", "build_trace_tree", "read_trace_spans",
+    "render_trace_tree", "spans_by_trace",
+    "SloObjective", "BurnWindow", "SloEngine", "DEFAULT_WINDOWS",
     "RunTelemetry", "load_run", "render_report",
+    "render_top", "run_top",
 ]

@@ -88,6 +88,10 @@ EVENT_KINDS = frozenset({
     "tenant_shed",           # tenant, service
     "drain_start",           # pending
     "drain_complete",        # shards
+    # SLO engine (repro.obs.slo)
+    "slo_burn",              # objective, window, burn_short, burn_long,
+    #                        # budget_remaining, tick, service
+    "slo_recover",           # objective, window, tick
 })
 
 

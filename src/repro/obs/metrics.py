@@ -217,10 +217,16 @@ class Histogram:
     After :meth:`merge` the P² state is dropped (it is not mergeable) and
     :meth:`quantile` falls back to interpolating the merged bucket counts,
     so any grouping of the same histograms merges to the same state.
+
+    ``observe(value, exemplar=...)`` additionally keeps one *exemplar*
+    per bucket: the trace id of the worst (largest) observation that
+    landed there.  Exemplars survive snapshot/merge (per-bucket max
+    wins, an associative rule), which is how ``obs report`` jumps from
+    "p99 regressed" to the exact trace tree that regressed it.
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
-                 "total", "min", "max", "_estimators")
+                 "total", "min", "max", "exemplars", "_estimators")
     kind = "histogram"
 
     def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = (),
@@ -236,11 +242,15 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # bucket index -> {"value": worst observation, "trace_id": its
+        # trace}; empty until an exemplar-carrying observation arrives.
+        self.exemplars: Dict[int, dict] = {}
         self._estimators: Optional[Dict[float, P2Quantile]] = {
             float(q): P2Quantile(q) for q in quantiles
         }
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
         value = float(value)
         self.count += 1
         self.total += value
@@ -248,10 +258,26 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        bucket = bisect_left(self.bounds, value)
+        self.bucket_counts[bucket] += 1
+        if exemplar is not None:
+            worst = self.exemplars.get(bucket)
+            if worst is None or value > worst["value"]:
+                self.exemplars[bucket] = {"value": value,
+                                          "trace_id": str(exemplar)}
         if self._estimators is not None:
             for estimator in self._estimators.values():
                 estimator.observe(value)
+
+    def worst_exemplar(self) -> Optional[dict]:
+        """Exemplar of the highest populated bucket (the p100-ish trace).
+
+        Returns ``{"value": ..., "trace_id": ...}`` or ``None`` when no
+        exemplar-carrying observation was ever recorded.
+        """
+        if not self.exemplars:
+            return None
+        return self.exemplars[max(self.exemplars)]
 
     @property
     def mean(self) -> float:
@@ -299,6 +325,10 @@ class Histogram:
         self.max = max(self.max, other.max)
         for index, bucket_count in enumerate(other.bucket_counts):
             self.bucket_counts[index] += bucket_count
+        for bucket, exemplar in other.exemplars.items():
+            mine = self.exemplars.get(bucket)
+            if mine is None or exemplar["value"] > mine["value"]:
+                self.exemplars[bucket] = dict(exemplar)
         # Two P² marker sets cannot be combined without the raw stream;
         # quantile() answers from the merged buckets from here on.
         self._estimators = None
@@ -308,7 +338,7 @@ class Histogram:
         if self.count:
             for q in DEFAULT_QUANTILES:
                 quantiles[f"p{int(q * 100)}"] = self.quantile(q)
-        return {
+        snap = {
             "kind": self.kind, "name": self.name,
             "labels": dict(self.labels),
             "count": self.count, "sum": self.total,
@@ -318,6 +348,13 @@ class Histogram:
             "bucket_counts": list(self.bucket_counts),
             "quantiles": quantiles,
         }
+        if self.exemplars:
+            # JSON object keys are strings; the bucket index round-trips
+            # through str() in _from_snapshot.
+            snap["exemplars"] = {str(bucket): dict(exemplar)
+                                 for bucket, exemplar
+                                 in sorted(self.exemplars.items())}
+        return snap
 
 
 _MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
@@ -487,6 +524,11 @@ def _from_snapshot(snap: dict):
         metric.max = (float(snap["max"]) if snap["max"] is not None
                       else float("-inf"))
         metric.bucket_counts = [int(c) for c in snap["bucket_counts"]]
+        metric.exemplars = {
+            int(bucket): {"value": float(exemplar["value"]),
+                          "trace_id": str(exemplar["trace_id"])}
+            for bucket, exemplar in snap.get("exemplars", {}).items()
+        }
         metric._estimators = None
         return metric
     raise ValueError(f"unknown metric kind in snapshot: {kind!r}")

@@ -33,8 +33,9 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
 from repro.obs.events import read_events
+from repro.obs.propagate import render_trace_tree
 from repro.obs.tracing import aggregate_spans
 
 __all__ = ["RunTelemetry", "load_run", "render_report"]
@@ -87,18 +88,15 @@ def _load_flat(directory: Path, telemetry: RunTelemetry,
             telemetry.group_events[group] = records
     metrics_path = directory / "metrics.jsonl"
     if metrics_path.is_file():
-        telemetry.metrics.merge(MetricsRegistry.from_jsonl(
-            metrics_path.read_text(encoding="utf-8")))
+        # Same torn-write stance as read_events: a crash mid-dump tears
+        # at most the final line, and the report must still render.
+        snapshots = [record for record in _read_jsonl(metrics_path)
+                     if isinstance(record, dict)]
+        telemetry.metrics.merge(MetricsRegistry.from_snapshot(snapshots))
     spans_path = directory / "spans.jsonl"
     if spans_path.is_file():
-        for line in spans_path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                telemetry.spans.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue
+        telemetry.spans.extend(record for record in _read_jsonl(spans_path)
+                               if isinstance(record, dict))
     result_path = directory / "result.json"
     if group is not None and result_path.is_file():
         try:
@@ -106,6 +104,20 @@ def _load_flat(directory: Path, telemetry: RunTelemetry,
                 result_path.read_text(encoding="utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             pass
+
+
+def _read_jsonl(path: Path) -> List[object]:
+    """Decode a JSONL file, skipping blank and torn (undecodable) lines."""
+    records: List[object] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
 
 
 # ----------------------------------------------------------------------
@@ -123,7 +135,7 @@ def render_report(directory: str | Path, top_k: int = 10) -> str:
     if text:
         sections.append(text)
     for renderer in (_render_remediation, _render_remediation_timeline,
-                     _render_gateway):
+                     _render_gateway, _render_slo, _render_exemplars):
         text = renderer(telemetry)
         if text:
             sections.append(text)
@@ -413,6 +425,104 @@ def _render_gateway(telemetry: RunTelemetry) -> Optional[str]:
     drained = any(e["kind"] == "drain_complete" for e in events)
     if drained:
         lines.append("  drained cleanly")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# SLOs and exemplars (repro.obs.slo / distributed tracing)
+# ----------------------------------------------------------------------
+_SLO_KINDS = frozenset({"slo_burn", "slo_recover"})
+
+
+def _slo_events(telemetry: RunTelemetry) -> List[dict]:
+    events = [e for e in telemetry.fleet_events
+              if e.get("kind") in _SLO_KINDS]
+    for group_events in telemetry.group_events.values():
+        events.extend(e for e in group_events
+                      if e.get("kind") in _SLO_KINDS)
+    return sorted(events, key=lambda e: (e.get("tick", 0), e.get("seq", 0)))
+
+
+def _render_slo(telemetry: RunTelemetry) -> Optional[str]:
+    """SLO section: per-objective budget remaining, burn counts, and the
+    windows still firing — from the ``slo.*`` gauges and the
+    ``slo_burn`` / ``slo_recover`` event stream."""
+    events = _slo_events(telemetry)
+    budgets: Dict[str, float] = {}
+    for metric in telemetry.metrics.collect("slo.budget_remaining"):
+        if isinstance(metric, Gauge):
+            objective = dict(metric.labels).get("objective", "?")
+            budgets[objective] = metric.value
+    if not events and not budgets:
+        return None
+    burns: Dict[str, int] = {}
+    active: Dict[str, Dict[str, bool]] = {}
+    for event in events:
+        objective = str(event.get("objective", "?"))
+        window = str(event.get("window", "?"))
+        if event["kind"] == "slo_burn":
+            burns[objective] = burns.get(objective, 0) + 1
+            active.setdefault(objective, {})[window] = True
+        else:
+            active.setdefault(objective, {})[window] = False
+    rows = []
+    for objective in sorted(set(budgets) | set(burns)):
+        firing = sorted(window for window, on
+                        in active.get(objective, {}).items() if on)
+        budget = budgets.get(objective)
+        rows.append((
+            objective,
+            f"{100.0 * budget:.1f}%" if budget is not None else "-",
+            burns.get(objective, 0),
+            ",".join(firing) if firing else "-",
+        ))
+    lines = [_format_table(
+        ("objective", "budget left", "burns", "firing"),
+        rows, title="slo status")]
+    shown = [e for e in events if e["kind"] == "slo_burn"][-10:]
+    for event in shown:
+        lines.append(
+            f"  tick {event.get('tick', '?'):>5}  slo_burn   "
+            f"{event.get('objective', '?'):<24} window={event.get('window')}"
+            f" burn {float(event.get('burn_short', 0.0)):.1f}x"
+            f" budget {100.0 * float(event.get('budget_remaining', 0.0)):.1f}%")
+    return "\n".join(lines)
+
+
+def _render_exemplars(telemetry: RunTelemetry) -> Optional[str]:
+    """Exemplar section: for every histogram that carried trace
+    exemplars, the worst-bucket trace id — then the full trace tree of
+    the worst ack, the "p99 regressed, here is the request" jump."""
+    histograms = []
+    for metric in telemetry.metrics:
+        if isinstance(metric, Histogram) and metric.exemplars:
+            histograms.append(metric)
+    if not histograms:
+        return None
+    histograms.sort(key=lambda m: (m.name, m.labels))
+    rows = []
+    drill = None                     # (series label, exemplar dict)
+    for metric in histograms:
+        labels = dict(metric.labels)
+        rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        series = metric.name + (f"{{{rendered}}}" if rendered else "")
+        worst = metric.worst_exemplar()
+        rows.append((
+            series,
+            f"{1e3 * metric.quantile(0.99):.3f}",
+            f"{1e3 * worst['value']:.3f}",
+            worst["trace_id"],
+        ))
+        if drill is None or metric.name == "gateway.ack_seconds":
+            if drill is None or drill[0] != "gateway.ack_seconds":
+                drill = (metric.name, worst)
+    lines = [_format_table(
+        ("histogram", "p99 ms", "worst ms", "trace"),
+        rows, title="latency exemplars")]
+    if drill is not None and telemetry.spans:
+        lines.append(f"worst {drill[0]} trace:")
+        lines.append(render_trace_tree(telemetry.spans,
+                                       drill[1]["trace_id"]))
     return "\n".join(lines)
 
 

@@ -1,0 +1,345 @@
+"""Declarative SLOs with error budgets and multi-window burn-rate alerts.
+
+A service-level objective says "this fraction of events must be good":
+99.9% of acks under 50 ms, 99.5% of updates answered by the model path,
+every service's score fresher than N ticks.  The engine turns the
+streaming metrics the gateway and serving runtime already record into
+that verdict, continuously:
+
+* an :class:`SloObjective` names a metric, a goodness rule, and a
+  ``target`` fraction;
+* the **error budget** is the allowed bad fraction ``1 - target``; the
+  *burn rate* over a window is ``bad_fraction / (1 - target)`` — burn 1
+  spends the budget exactly at the rate the objective allows, burn 14.4
+  exhausts a 30-day budget in 2 days;
+* alerts use the SRE **multi-window, multi-burn-rate** recipe: a pair
+  fires only when *both* its short and long windows exceed the pair's
+  burn threshold — the short window makes alerts fast to clear, the long
+  window keeps one bad tick from paging.  The defaults are the classic
+  fast (5m/1h at 14.4x) and slow (6h/3d at 6x) pairs, expressed in ticks
+  of the injected clock so tests and drills are deterministic.
+
+Every rising edge emits a schema-versioned ``slo_burn`` event (falling
+edges emit ``slo_recover``) and notifies subscribed listeners — the
+remediation controller subscribes through
+:meth:`~repro.runtime.remediation.controller.RemediationController.attach_slo`
+and treats burns as a first-class incident source.  The engine also
+maintains ``slo.budget_remaining`` / ``slo.burn_rate`` gauges, which is
+how ``repro obs top`` shows budgets from ``metrics.jsonl`` alone.
+
+Everything is pure arithmetic on the caller's tick clock: no wall-clock
+reads, no randomness, so identical metric streams yield byte-identical
+``slo_burn`` events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import EventLog, emit as emit_event
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "SLO_SCHEMA",
+    "SloObjective",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SloEngine",
+]
+
+# Bumped on any backwards-incompatible change to the slo_burn payload.
+SLO_SCHEMA = 1
+
+_KINDS = ("latency", "availability", "freshness")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative objective over the streaming metrics.
+
+    ``kind`` selects the goodness rule:
+
+    ``latency``
+        ``metric`` is a histogram; an observation is good when it is at
+        most ``threshold`` seconds (counted from the bucket grid, so the
+        verdict is exact at bucket edges and conservative inside).
+    ``availability``
+        ``metric`` counts all events (counter, or histogram — its count
+        is used); ``bad_metric`` counts the bad ones.
+    ``freshness``
+        ``metric`` is a gauge sampled once per engine step; the step is
+        good when the gauge is at most ``threshold``.
+
+    ``labels`` (a tuple of ``(key, value)`` pairs) must be a subset of a
+    series' labels for it to count; matching series are summed.
+    ``service`` attributes burns to a service for remediation.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    target: float
+    threshold: float = 0.0
+    bad_metric: str = ""
+    labels: Tuple[Tuple[str, str], ...] = ()
+    service: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown objective kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be a fraction in (0, 1)")
+        if self.kind == "availability" and not self.bad_metric:
+            raise ValueError("availability objectives need bad_metric")
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One multi-window alert pair (short + long, one burn threshold)."""
+
+    label: str
+    short_ticks: int
+    long_ticks: int
+    burn_threshold: float
+
+    def __post_init__(self):
+        if not 0 < self.short_ticks <= self.long_ticks:
+            raise ValueError("need 0 < short_ticks <= long_ticks")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+
+# The SRE handbook pairs on a one-tick-per-second clock: page fast on a
+# 14.4x burn (2% of a 30-day budget in an hour), ticket on a sustained
+# 6x burn.  Tests and drills pass smaller windows on the same clock.
+DEFAULT_WINDOWS: Tuple[BurnWindow, ...] = (
+    BurnWindow("fast", short_ticks=300, long_ticks=3600,
+               burn_threshold=14.4),
+    BurnWindow("slow", short_ticks=21600, long_ticks=259200,
+               burn_threshold=6.0),
+)
+
+
+class SloEngine:
+    """Evaluate objectives over a registry on an injected tick clock."""
+
+    def __init__(self, objectives: Sequence[SloObjective],
+                 registry: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None,
+                 windows: Sequence[BurnWindow] = DEFAULT_WINDOWS):
+        if not objectives:
+            raise ValueError("need at least one objective")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"objective names must be unique: {names}")
+        self.objectives = tuple(objectives)
+        self.windows = tuple(windows)
+        if not self.windows:
+            raise ValueError("need at least one burn window")
+        self.registry = registry if registry is not None else get_registry()
+        self._events = events
+        self._horizon = max(window.long_ticks for window in self.windows)
+        # Per objective: cumulative (tick, bad, total) samples, oldest
+        # first, trimmed to the alerting horizon.
+        self._history: Dict[str, List[Tuple[int, float, float]]] = {
+            name: [] for name in names
+        }
+        # Freshness objectives synthesise one event per step; their
+        # cumulative counts live here rather than in any metric.
+        self._synthetic: Dict[str, List[float]] = {
+            objective.name: [0.0, 0.0] for objective in self.objectives
+            if objective.kind == "freshness"
+        }
+        self._active: Dict[Tuple[str, str], bool] = {}
+        self._last_tick: Optional[int] = None
+        self._listeners: List[Callable[[SloObjective, dict], None]] = []
+
+    # ------------------------------------------------------------------
+    def subscribe(self,
+                  listener: Callable[[SloObjective, dict], None]) -> None:
+        """``listener(objective, alert)`` fires on every rising edge —
+        the remediation controller's subscription point.  Listener
+        exceptions propagate: a broken control plane is a bug."""
+        self._listeners.append(listener)
+
+    def step(self, tick: int) -> List[dict]:
+        """Evaluate every objective at ``tick``; returns new alerts.
+
+        Ticks must be strictly increasing.  Each call samples the
+        cumulative good/bad counts, updates the budget and burn gauges,
+        and emits ``slo_burn`` / ``slo_recover`` on edges.
+        """
+        tick = int(tick)
+        if self._last_tick is not None and tick <= self._last_tick:
+            raise ValueError(
+                f"tick must increase: {tick} after {self._last_tick}")
+        self._last_tick = tick
+        alerts: List[dict] = []
+        for objective in self.objectives:
+            bad, total = self._totals(objective)
+            history = self._history[objective.name]
+            history.append((tick, bad, total))
+            floor = tick - self._horizon
+            drop = 0
+            while drop + 1 < len(history) and history[drop + 1][0] <= floor:
+                drop += 1
+            if drop:
+                del history[:drop]
+            budget = self._budget_remaining(objective, history, tick)
+            self.registry.gauge("slo.budget_remaining",
+                                objective=objective.name).set(budget)
+            for window in self.windows:
+                burn_short = self._burn(objective, history, tick,
+                                        window.short_ticks)
+                burn_long = self._burn(objective, history, tick,
+                                       window.long_ticks)
+                self.registry.gauge("slo.burn_rate",
+                                    objective=objective.name,
+                                    window=window.label).set(burn_short)
+                firing = (burn_short >= window.burn_threshold
+                          and burn_long >= window.burn_threshold)
+                key = (objective.name, window.label)
+                was_firing = self._active.get(key, False)
+                if firing and not was_firing:
+                    alert = {
+                        "slo_schema": SLO_SCHEMA,
+                        "objective": objective.name,
+                        "window": window.label,
+                        "burn_short": burn_short,
+                        "burn_long": burn_long,
+                        "burn_threshold": window.burn_threshold,
+                        "budget_remaining": budget,
+                        "tick": tick,
+                        "service": objective.service,
+                    }
+                    self._emit("slo_burn", **alert)
+                    for listener in self._listeners:
+                        listener(objective, alert)
+                    alerts.append(alert)
+                elif was_firing and not firing:
+                    self._emit("slo_recover", slo_schema=SLO_SCHEMA,
+                               objective=objective.name,
+                               window=window.label, tick=tick)
+                self._active[key] = firing
+        return alerts
+
+    def active_alerts(self) -> List[Tuple[str, str]]:
+        """Currently-firing ``(objective, window)`` pairs, sorted."""
+        return sorted(key for key, firing in self._active.items() if firing)
+
+    # ------------------------------------------------------------------
+    # Goodness accounting
+    # ------------------------------------------------------------------
+    def _totals(self, objective: SloObjective) -> Tuple[float, float]:
+        """Cumulative ``(bad, total)`` event counts for an objective."""
+        if objective.kind == "latency":
+            bad = total = 0.0
+            for metric in self._matching(objective.metric, objective.labels):
+                if not isinstance(metric, Histogram):
+                    continue
+                total += metric.count
+                bad += metric.count - _good_below(metric,
+                                                  objective.threshold)
+            return bad, total
+        if objective.kind == "availability":
+            total = self._sum_series(objective.metric, objective.labels)
+            bad = self._sum_series(objective.bad_metric, objective.labels)
+            return min(bad, total), total
+        # freshness: one synthetic event per matched gauge per step
+        counts = self._synthetic[objective.name]
+        for metric in self._matching(objective.metric, objective.labels):
+            if not isinstance(metric, Gauge):
+                continue
+            counts[1] += 1.0
+            if not metric.value <= objective.threshold:  # NaN counts bad
+                counts[0] += 1.0
+        return counts[0], counts[1]
+
+    def _matching(self, name: str,
+                  labels: Tuple[Tuple[str, str], ...]) -> List[object]:
+        wanted = dict(labels)
+        out = []
+        for metric in self.registry.collect(name):
+            have = dict(metric.labels)
+            if all(have.get(key) == value for key, value in wanted.items()):
+                out.append(metric)
+        return out
+
+    def _sum_series(self, name: str,
+                    labels: Tuple[Tuple[str, str], ...]) -> float:
+        total = 0.0
+        for metric in self._matching(name, labels):
+            if isinstance(metric, Histogram):
+                total += metric.count
+            elif isinstance(metric, (Counter, Gauge)):
+                total += metric.value
+        return total
+
+    # ------------------------------------------------------------------
+    # Burn-rate arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _baseline(history: List[Tuple[int, float, float]], tick: int,
+                  window_ticks: int) -> Tuple[int, float, float]:
+        """Latest sample at or before the window start (else the oldest
+        sample: a partial window burns against what it has seen)."""
+        start = tick - window_ticks
+        base = history[0]
+        for sample in history:
+            if sample[0] <= start:
+                base = sample
+            else:
+                break
+        return base
+
+    def _burn(self, objective: SloObjective,
+              history: List[Tuple[int, float, float]], tick: int,
+              window_ticks: int) -> float:
+        _, bad_then, total_then = self._baseline(history, tick, window_ticks)
+        _, bad_now, total_now = history[-1]
+        events = total_now - total_then
+        if events <= 0:
+            return 0.0
+        bad_fraction = (bad_now - bad_then) / events
+        return bad_fraction / (1.0 - objective.target)
+
+    def _budget_remaining(self, objective: SloObjective,
+                          history: List[Tuple[int, float, float]],
+                          tick: int) -> float:
+        """Fraction of the error budget left over the longest window
+        (1.0 untouched, 0.0 exhausted, negative when overspent)."""
+        _, bad_then, total_then = self._baseline(history, tick,
+                                                 self._horizon)
+        _, bad_now, total_now = history[-1]
+        events = total_now - total_then
+        if events <= 0:
+            return 1.0
+        allowed = (1.0 - objective.target) * events
+        return 1.0 - (bad_now - bad_then) / allowed
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
+        else:
+            emit_event(kind, **fields)
+
+
+def _good_below(histogram: Histogram, threshold: float) -> float:
+    """Observations provably at most ``threshold`` (bucket edges are
+    inclusive upper bounds, so the count is exact at an edge and
+    conservative inside a bucket)."""
+    good = 0
+    for index, bound in enumerate(histogram.bounds):
+        if bound <= threshold:
+            good += histogram.bucket_counts[index]
+        else:
+            break
+    return float(good)

@@ -43,6 +43,7 @@ import numpy as np
 from repro.core.detector import AnomalyDetector
 from repro.obs.events import EventLog
 from repro.obs.metrics import get_registry
+from repro.obs.propagate import TraceContext, TraceLog
 from repro.runtime.faults import GatewayFault
 from repro.runtime.gateway.admission import (
     AdmissionController,
@@ -51,7 +52,7 @@ from repro.runtime.gateway.admission import (
     TenantPolicy,
 )
 from repro.runtime.gateway.hashring import ConsistentHashRing
-from repro.runtime.gateway.wal import WriteAheadLog, read_wal
+from repro.runtime.gateway.wal import ENTRY_SCHEMA, WriteAheadLog, read_wal
 from repro.runtime.gateway.worker import run_shard_worker
 
 __all__ = ["GatewayError", "GatewayConfig", "SubmitResult", "ServingGateway"]
@@ -89,6 +90,8 @@ class GatewayConfig:
     refuse_at: float = 0.95
     hysteresis: float = 0.10
     start_method: Optional[str] = None  # None: "fork" if available
+    trace_sample: float = 1.0       # deterministic trace sampling rate;
+    #                               # 0 disables minting entirely
 
     def __post_init__(self):
         if self.workers < 1:
@@ -99,6 +102,8 @@ class GatewayConfig:
             raise ValueError("timeouts must be positive")
         if self.max_respawns < 1:
             raise ValueError("max_respawns must be >= 1")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -198,6 +203,7 @@ class ServingGateway:
         )
         self.registry = get_registry()
         self._events: Optional[EventLog] = None
+        self._traces: Optional[TraceLog] = None
         self._shards: Dict[str, _Shard] = {}
         self._shard_of: Dict[str, str] = {}
         self._accepted_sequence: Dict[str, int] = {sid: 0
@@ -218,6 +224,8 @@ class ServingGateway:
             raise GatewayError("gateway already started")
         self.directory.mkdir(parents=True, exist_ok=True)
         self._events = EventLog(self.directory / "events.jsonl")
+        if self.config.trace_sample > 0.0:
+            self._traces = TraceLog(self.directory / "spans.jsonl")
         assignment = self.ring.shards(sorted(self.services))
         self._shard_of = {sid: shard_id
                           for shard_id, sids in assignment.items()
@@ -297,6 +305,9 @@ class ServingGateway:
             shard.wal.close()
         self.registry.dump(self.directory / "metrics.jsonl")
         self._emit("drain_complete", shards=len(self._shards))
+        if self._traces is not None:
+            self._traces.close()
+            self._traces = None
         self._events.close()
         self._started = False
 
@@ -308,6 +319,9 @@ class ServingGateway:
             self._terminate(shard)
             self._reap_process(shard)
             shard.wal.close()
+        if self._traces is not None:
+            self._traces.close()
+            self._traces = None
         if self._events is not None:
             self._events.close()
             self._events = None
@@ -368,6 +382,10 @@ class ServingGateway:
             return self._reject(service_id, sequence, tenant, "backpressure")
 
         degraded = state is OverloadState.DEGRADED
+        context = None
+        if self.config.trace_sample > 0.0:
+            context = TraceContext.mint(self.config.seed, service_id,
+                                        sequence, self.config.trace_sample)
         entry = {
             "service": service_id,
             "sequence": sequence,
@@ -375,19 +393,37 @@ class ServingGateway:
                                       dtype=float).reshape(-1).tolist(),
             "degraded": degraded,
         }
+        if context is not None:
+            # WAL entry schema 2: the trace context rides the frame so a
+            # post-failover replay re-parents under the original trace.
+            # Schema-1 frames (pre-trace) simply lack both keys and
+            # replay untraced.
+            entry["schema"] = ENTRY_SCHEMA
+            entry["trace"] = context.to_wire()
         lsn = shard.wal.append(entry)
         self.registry.counter("gateway.wal_appends",
                               shard=shard.shard_id).inc()
         await self._commit(shard, lsn)
-        shard.queue.put_nowait(entry)
+        # The enqueue timestamp rides the queue, not the WAL: replayed
+        # frames never waited in this queue, and journal bytes must not
+        # depend on the wall clock.
+        shard.queue.put_nowait((entry, time.perf_counter()))
         self._accepted_sequence[service_id] = sequence
         self.registry.counter("gateway.accepted", tenant=tenant).inc()
         if degraded:
             self.registry.counter("gateway.degraded_accepts").inc()
         self.registry.gauge("gateway.queue_depth",
                             shard=shard.shard_id).set(shard.queue.qsize())
+        elapsed = time.perf_counter() - started
+        exemplar = (context.trace_id
+                    if context is not None and context.sampled else None)
         self.registry.histogram("gateway.ack_seconds").observe(
-            time.perf_counter() - started)
+            elapsed, exemplar=exemplar)
+        if context is not None and context.sampled \
+                and self._traces is not None:
+            self._traces.record("gateway.submit", context, elapsed,
+                                service=service_id, sequence=sequence,
+                                shard=shard.shard_id, degraded=degraded)
         # Nothing above suspends when the WAL lock is uncontended, so a
         # tight submit loop would monopolize the event loop and starve
         # the dispatchers into an ever-growing backlog.  One explicit
@@ -446,10 +482,16 @@ class ServingGateway:
         """Per-shard delivery loop: strict FIFO, stop-and-wait."""
         while True:
             try:
-                entry = shard.queue.get_nowait()
+                entry, enqueued_at = shard.queue.get_nowait()
             except asyncio.QueueEmpty:
                 await asyncio.sleep(0.001)
                 continue
+            context = TraceContext.from_wire(entry.get("trace"))
+            self.registry.histogram(
+                "gateway.queue_wait_seconds", shard=shard.shard_id,
+            ).observe(time.perf_counter() - enqueued_at,
+                      exemplar=(context.trace_id if context is not None
+                                and context.sampled else None))
             shard.in_flight = True
             try:
                 await self._deliver(shard, entry)
@@ -549,6 +591,9 @@ class ServingGateway:
             "snapshot_every": self.config.snapshot_every,
             "slow_start": shard.slow_start,
             "die_after_applies": shard.pending_die_after,
+            "trace_path": (str(shard.snapshot_path.parent / "spans.jsonl")
+                           if self.config.trace_sample > 0.0 else None),
+            "incarnation": shard.respawns,
         }
         process = self._context.Process(
             target=run_shard_worker, args=(payload, child_conn),
@@ -581,6 +626,11 @@ class ServingGateway:
                 continue
             command = dict(entry)
             command["op"] = "update"
+            # Replayed frames carry their original trace context (WAL
+            # entry schema 2); the worker marks the resulting span as a
+            # replay so the trace tree tells recovery apart from the
+            # first delivery.
+            command["replay"] = True
             shard.conn.send(command)
             reply = await self._await_reply(shard, ("ack",),
                                             self.config.ack_timeout)

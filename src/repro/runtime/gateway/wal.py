@@ -19,6 +19,13 @@ On-disk format (one ``wal-NNNNNNNN.seg`` file per segment)::
 is the same float64s that were acknowledged — the bitwise chaos gate
 depends on this.
 
+Entry payloads are themselves versioned: schema-2 entries (written
+since distributed tracing landed) carry ``{"schema": 2, "trace": {...}}``
+alongside the update fields, so a post-failover replay re-parents its
+spans under the trace that originally admitted the update.  Schema-1
+entries predate tracing, have neither key, and replay untraced — old
+logs stay fully replayable.
+
 Failure stance mirrors the repo's checkpoint layer: a torn *final*
 record in the *last* segment is a crash mid-append and is silently
 discarded (it was never acknowledged — the fsync that would have made it
@@ -40,7 +47,14 @@ from typing import List, Optional
 
 from repro.nn.serialization import fsync_directory
 
-__all__ = ["WalCorruptionError", "WalRecord", "WriteAheadLog", "read_wal"]
+__all__ = ["ENTRY_SCHEMA", "WalCorruptionError", "WalRecord",
+           "WriteAheadLog", "read_wal"]
+
+# Version of the *entry payload* shape the gateway writes today (the
+# frame format above is unversioned and unchanged).  Bumped to 2 when
+# entries grew the embedded trace context; readers treat entries with no
+# "schema" key as schema 1.
+ENTRY_SCHEMA = 2
 
 _MAGIC = b"RW"
 _HEADER_BYTES = len(_MAGIC) + 4 + 4       # magic + length + crc32

@@ -11,7 +11,11 @@ stop-and-wait command protocol:
     :meth:`~repro.runtime.serving.ServingRuntime.update` and reply with
     an ``ack`` carrying the scoring outcome.  The sequence number makes
     re-delivery (the parent's retransmit after an ack timeout, or a WAL
-    replay overlapping a snapshot) a no-op.
+    replay overlapping a snapshot) a no-op.  Commands carrying a sampled
+    trace context get a ``worker.update`` span recorded (and flushed) to
+    the shard's ``spans.jsonl`` *before* the ack is sent, parented under
+    the gateway's submit span — which is what keeps every acked update's
+    cross-process trace tree complete through kills and replays.
 ``{"op": "snapshot"}``
     Write the serving-state snapshot (buffers + SPOT + sequence
     high-water) atomically and acknowledge.
@@ -43,6 +47,7 @@ import numpy as np
 
 from repro.obs.events import EventLog, install_event_log
 from repro.obs.metrics import MetricsRegistry, install_registry
+from repro.obs.propagate import TraceContext, TraceLog
 from repro.runtime.checkpoint import (
     CheckpointError,
     load_streaming_state,
@@ -95,6 +100,14 @@ def run_shard_worker(payload: dict, conn) -> None:
     snapshot_every = int(payload.get("snapshot_every") or 0)
     die_after = payload.get("die_after_applies")
     applies = 0
+    # Cross-process span sink: one flushed line per applied update, so a
+    # hard kill tears at most the final line.  The incarnation qualifies
+    # every span id — each respawn derives fresh, deterministic ids even
+    # when it re-applies the same (service, sequence).
+    trace_path = payload.get("trace_path")
+    traces = TraceLog(trace_path) if trace_path else None
+    incarnation = int(payload.get("incarnation") or 0)
+    span_count = 0
 
     conn.send({
         "op": "hello",
@@ -111,12 +124,17 @@ def run_shard_worker(payload: dict, conn) -> None:
             break                           # parent went away; die quietly
         op = command.get("op")
         if op == "update":
+            context = TraceContext.from_wire(command.get("trace"))
+            update_started = time.perf_counter()
             outcome = runtime.update(
                 command["service"],
                 np.asarray(command["observation"], dtype=float),
                 sequence=int(command["sequence"]),
                 force_fallback=bool(command.get("degraded", False)),
+                trace_id=(context.trace_id if context is not None
+                          and context.sampled else None),
             )
+            update_seconds = time.perf_counter() - update_started
             if not outcome.duplicate:
                 applies += 1
                 if snapshot_path and snapshot_every \
@@ -126,6 +144,24 @@ def run_shard_worker(payload: dict, conn) -> None:
                     # Applied but never acknowledged: the parent must
                     # retransmit and the sequence check must absorb it.
                     os._exit(KILLED_EXIT_CODE)
+            if context is not None and context.sampled \
+                    and traces is not None:
+                # Recorded (and flushed) before the ack leaves, so every
+                # acknowledged update's trace tree is complete on disk
+                # even if the very next instruction is a kill.
+                span_count += 1
+                child = context.child(
+                    "worker.update", qualifier=f"{incarnation}:{span_count}")
+                traces.record(
+                    "worker.update", child, update_seconds,
+                    parent_span_id=context.span_id, depth=1,
+                    service=command["service"],
+                    sequence=int(command["sequence"]),
+                    shard=payload.get("shard"),
+                    incarnation=incarnation,
+                    replay=bool(command.get("replay", False)),
+                    duplicate=outcome.duplicate,
+                )
             conn.send({
                 "op": "ack",
                 "service": command["service"],
@@ -152,4 +188,6 @@ def run_shard_worker(payload: dict, conn) -> None:
             break
         else:
             conn.send({"op": "error", "error": f"unknown op {op!r}"})
+    if traces is not None:
+        traces.close()
     conn.close()

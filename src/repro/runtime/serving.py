@@ -243,7 +243,8 @@ class ServingRuntime:
     def update(self, service_id: str,
                observation: Optional[np.ndarray],
                sequence: Optional[int] = None,
-               force_fallback: bool = False) -> StreamUpdate:
+               force_fallback: bool = False,
+               trace_id: Optional[str] = None) -> StreamUpdate:
         """Feed one observation (or ``None`` for a dropped sample).
 
         Scoring failures — exceptions or non-finite output from the model
@@ -273,6 +274,11 @@ class ServingRuntime:
         caused is counted (``serving.health_transitions``) and emitted as
         a ``health_transition`` event — ``breaker_trip`` when the breaker
         opened.
+
+        ``trace_id`` (optional) is recorded as the latency histogram's
+        per-bucket exemplar — the hook distributed tracing uses to jump
+        from "p99 regressed" to the exact trace.  It never influences
+        scoring.
         """
         if service_id not in self._health:
             raise KeyError(
@@ -295,7 +301,9 @@ class ServingRuntime:
                 self._applied_sequence[service_id] = sequence
             return outcome
         finally:
-            self._latency[service_id].observe(time.perf_counter() - started)  # effects: ok TIME reason=latency measurement is telemetry, never model input
+            self._latency[service_id].observe(
+                time.perf_counter() - started,  # effects: ok TIME reason=latency measurement is telemetry, never model input
+                exemplar=trace_id)
             self._report_transitions(service_id)
 
     def applied_sequence(self, service_id: str) -> int:

@@ -467,6 +467,51 @@ class TestUnboundedQueue:
         assert "REP113" not in _codes(lint_source(source, "src/mod.py"))
 
 
+class TestUndeclaredEventKind:
+    def test_undeclared_kind_fires(self):
+        source = ("from repro.obs.events import emit\n"
+                  "emit('made_up_kind', service='svc-0')\n")
+        assert "REP114" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_declared_kind_passes(self):
+        source = ("from repro.obs.events import emit\n"
+                  "emit('health_transition', service='svc-0')\n")
+        assert "REP114" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_emit_event_alias_and_wrapper_methods_fire(self):
+        source = ("from repro.obs.events import emit as emit_event\n"
+                  "class C:\n"
+                  "    def go(self):\n"
+                  "        emit_event('nope_a')\n"
+                  "        self._emit('nope_b', x=1)\n"
+                  "        self.log.emit('nope_c')\n")
+        codes = _codes(lint_source(source, "src/mod.py"))
+        assert codes.count("REP114") == 3
+
+    def test_variable_kind_is_exempt(self):
+        source = ("class C:\n"
+                  "    def _emit(self, kind, **fields):\n"
+                  "        self._events.emit(kind, **fields)\n")
+        assert "REP114" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_list_append_not_confused_for_event_log(self):
+        source = "lines = []\nlines.append('header')\n"
+        assert "REP114" not in _codes(lint_source(source, "src/mod.py"))
+
+    def test_append_with_keywords_fires(self):
+        source = "def f(log):\n    log.append('bad_kind', tick=3)\n"
+        assert "REP114" in _codes(lint_source(source, "src/mod.py"))
+
+    def test_tests_are_exempt(self):
+        source = "from repro.obs.events import emit\nemit('made_up_kind')\n"
+        assert "REP114" not in _codes(lint_source(source, "tests/mod.py"))
+
+    def test_noqa_suppresses(self):
+        source = ("from repro.obs.events import emit\n"
+                  "emit('made_up_kind')  # noqa: REP114\n")
+        assert "REP114" not in _codes(lint_source(source, "src/mod.py"))
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         violations = lint_source("def broken(:\n", "src/mod.py")

@@ -165,6 +165,51 @@ class TestHistogram:
         assert np.isnan(Histogram("h").quantile(0.5))
 
 
+class TestExemplars:
+    def test_worst_observation_per_bucket_wins(self):
+        histogram = Histogram("h")
+        histogram.observe(0.004, exemplar="trace-a")
+        histogram.observe(0.0045, exemplar="trace-b")   # same bucket, worse
+        histogram.observe(0.0041, exemplar="trace-c")   # same bucket, better
+        histogram.observe(0.4, exemplar="trace-d")      # far bucket
+        assert len(histogram.exemplars) == 2
+        assert histogram.worst_exemplar() == {"value": 0.4,
+                                              "trace_id": "trace-d"}
+
+    def test_unexemplared_observations_leave_no_trace(self):
+        histogram = Histogram("h")
+        histogram.observe(0.004)
+        assert histogram.exemplars == {}
+        assert histogram.worst_exemplar() is None
+        assert "exemplars" not in histogram.snapshot()  # old output shape
+
+    def test_snapshot_round_trip(self):
+        histogram = Histogram("h")
+        histogram.observe(0.004, exemplar="trace-a")
+        histogram.observe(0.4, exemplar="trace-d")
+        restored = MetricsRegistry.from_jsonl(
+            json.dumps(histogram.snapshot()))
+        series = restored.collect("h")[0]
+        assert series.worst_exemplar() == {"value": 0.4,
+                                           "trace_id": "trace-d"}
+        assert series.exemplars == histogram.exemplars
+
+    def test_merge_keeps_per_bucket_worst(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(0.004, exemplar="trace-a")
+        b.observe(0.0045, exemplar="trace-b")           # same bucket, worse
+        b.observe(0.4, exemplar="trace-d")
+        a.merge(b)
+        buckets = sorted(a.exemplars)
+        assert [a.exemplars[bucket]["trace_id"] for bucket in buckets] == \
+            ["trace-b", "trace-d"]
+        # Merge the other way: same verdict (associative surface).
+        c = Histogram("h")
+        c.observe(0.004, exemplar="trace-a")
+        b.merge(c)
+        assert b.exemplars == a.exemplars
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------

@@ -122,6 +122,32 @@ class TestFlatRun:
         assert "phase breakdown" in report
 
 
+class TestTornFinalLines:
+    """metrics.jsonl and spans.jsonl get the event log's torn-write
+    stance: a process killed mid-dump must not take the report down."""
+
+    def test_torn_metrics_line_skipped(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("gateway.accepted").inc(7)
+        registry.dump(tmp_path / "metrics.jsonl")
+        with open(tmp_path / "metrics.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"kind": "histogram", "name": "gateway.ack')  # torn
+        telemetry = load_run(tmp_path)
+        assert telemetry.metrics.collect("gateway.accepted")[0].value == 7.0
+        render_report(tmp_path)  # and the renderer stays up
+
+    def test_torn_spans_line_skipped(self, tmp_path):
+        _write_spans(tmp_path / "spans.jsonl", [
+            {"name": "fit", "path": "fit", "depth": 0, "start": 0.0,
+             "seconds": 0.2},
+        ])
+        with open(tmp_path / "spans.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"name": "fit", "pa')
+        telemetry = load_run(tmp_path)
+        assert len(telemetry.spans) == 1
+        assert "phase breakdown" in render_report(tmp_path)
+
+
 class TestRealFleetRun:
     def test_obs_enabled_fleet_run_is_reportable(self, tmp_path):
         from repro.core import MaceConfig

@@ -1,0 +1,207 @@
+"""repro.obs.slo: burn-rate math, edge-triggered alerts, determinism."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SLO_SCHEMA,
+    BurnWindow,
+    SloEngine,
+    SloObjective,
+)
+
+# One tight pair on a small tick clock so tests drive whole windows.
+WINDOWS = (BurnWindow("fast", short_ticks=5, long_ticks=20,
+                      burn_threshold=10.0),)
+
+
+def _latency_objective(**overrides):
+    defaults = dict(name="ack-p99", kind="latency",
+                    metric="gateway.ack_seconds", target=0.99,
+                    threshold=0.05, service="svc-0")
+    return SloObjective(**{**defaults, **overrides})
+
+
+def _engine(objective, registry, log=None, windows=WINDOWS):
+    return SloEngine([objective], registry=registry, events=log,
+                     windows=windows)
+
+
+class TestDeclarations:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", "speed", "m", 0.99)
+
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            _latency_objective(target=1.0)
+
+    def test_availability_needs_bad_metric(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", "availability", "m", 0.99)
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            BurnWindow("w", short_ticks=10, long_ticks=5, burn_threshold=1.0)
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError):
+            SloEngine([_latency_objective(), _latency_objective()],
+                      registry=MetricsRegistry())
+
+    def test_default_windows_are_the_sre_pairs(self):
+        assert [w.label for w in DEFAULT_WINDOWS] == ["fast", "slow"]
+        assert DEFAULT_WINDOWS[0].burn_threshold == 14.4
+
+    def test_ticks_must_increase(self):
+        engine = _engine(_latency_objective(), MetricsRegistry())
+        engine.step(1)
+        with pytest.raises(ValueError):
+            engine.step(1)
+
+
+class TestBurnMath:
+    def test_healthy_traffic_never_fires(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gateway.ack_seconds")
+        engine = _engine(_latency_objective(), registry)
+        for tick in range(1, 40):
+            histogram.observe(0.004)
+            assert engine.step(tick) == []
+        assert engine.active_alerts() == []
+        budget = registry.gauge("slo.budget_remaining", objective="ack-p99")
+        assert budget.value == 1.0
+
+    def test_sustained_burn_fires_once_then_recovers(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gateway.ack_seconds")
+        log = EventLog(clock=lambda: 0.0)
+        engine = _engine(_latency_objective(), registry, log)
+        fired = []
+        for tick in range(1, 30):
+            histogram.observe(0.2)          # every ack bad: burn = 100x
+            fired.extend(engine.step(tick))
+        assert len(fired) == 1              # edge-triggered, not level
+        alert = fired[0]
+        assert alert["slo_schema"] == SLO_SCHEMA
+        assert alert["objective"] == "ack-p99"
+        assert alert["window"] == "fast"
+        assert alert["service"] == "svc-0"
+        assert alert["burn_short"] == pytest.approx(100.0)
+        assert alert["budget_remaining"] < 0  # overspent, visibly
+        assert engine.active_alerts() == [("ack-p99", "fast")]
+        # Clean traffic clears the windows -> one slo_recover edge.
+        for tick in range(30, 80):
+            histogram.observe(0.004)
+            engine.step(tick)
+        assert engine.active_alerts() == []
+        kinds = [event["kind"] for event in log.events()]
+        assert kinds.count("slo_burn") == 1
+        assert kinds.count("slo_recover") == 1
+
+    def test_short_spike_alone_does_not_page(self):
+        """The long window is the flap filter: a burst that exceeds the
+        short window but not the long one stays silent."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gateway.ack_seconds")
+        windows = (BurnWindow("fast", short_ticks=2, long_ticks=20,
+                              burn_threshold=10.0),)
+        engine = _engine(_latency_objective(target=0.9), registry,
+                         windows=windows)
+        for tick in range(1, 19):
+            histogram.observe(0.004)
+            assert engine.step(tick) == []
+        histogram.observe(0.2)              # one bad ack in 19
+        assert engine.step(19) == []        # short burn 5x? long ~0.5x
+        assert engine.active_alerts() == []
+
+    def test_availability_objective_counts_bad_metric(self):
+        registry = MetricsRegistry()
+        total = registry.counter("gateway.accepted")
+        bad = registry.counter("gateway.rejected")
+        objective = SloObjective("avail", "availability",
+                                 "gateway.accepted", 0.9,
+                                 bad_metric="gateway.rejected")
+        engine = _engine(objective, registry)
+        alerts = []
+        for tick in range(1, 25):
+            total.inc(); bad.inc()          # 100% bad -> burn 10x
+            alerts.extend(engine.step(tick))
+        assert [a["window"] for a in alerts] == ["fast"]
+
+    def test_freshness_objective_samples_gauge_per_step(self):
+        registry = MetricsRegistry()
+        age = registry.gauge("serving.staleness", service="svc-1")
+        objective = SloObjective("fresh", "freshness", "serving.staleness",
+                                 0.95, threshold=10.0)  # 100% stale = 20x
+        engine = _engine(objective, registry)
+        age.set(3.0)
+        for tick in range(1, 22):
+            assert engine.step(tick) == []
+        age.set(math.nan)                   # NaN is stale, not good
+        alerts = []
+        for tick in range(22, 60):
+            alerts.extend(engine.step(tick))
+        assert len(alerts) == 1
+
+    def test_label_subset_matching(self):
+        registry = MetricsRegistry()
+        objective = _latency_objective(name="a-only", metric="lat",
+                                       labels=(("service", "a"),))
+        engine = _engine(objective, registry)
+        engine.step(1)                      # baseline sample
+        registry.histogram("lat", service="a").observe(0.2)
+        registry.histogram("lat", service="b").observe(0.004)
+        engine.step(2)                      # only service=a counts
+        burn = registry.gauge("slo.burn_rate", objective="a-only",
+                              window="fast")
+        assert burn.value == pytest.approx(100.0)
+
+    def test_listener_notified_on_rising_edge(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gateway.ack_seconds")
+        engine = _engine(_latency_objective(), registry)
+        seen = []
+        engine.subscribe(lambda objective, alert:
+                         seen.append((objective.name, alert["window"])))
+        for tick in range(1, 25):
+            histogram.observe(0.2)
+            engine.step(tick)
+        assert seen == [("ack-p99", "fast")]
+
+
+class TestDeterminism:
+    """Acceptance criterion (c): burns fire iff the faulted arm actually
+    burns budget, and the emitted events are byte-identical across runs."""
+
+    def _run_arm(self, tmp_path, label, bad_ticks):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("gateway.ack_seconds")
+        tick_box = [0]
+        log = EventLog(tmp_path / f"{label}.jsonl",
+                       clock=lambda: float(tick_box[0]))
+        engine = _engine(_latency_objective(), registry, log)
+        for tick in range(1, 61):
+            tick_box[0] = tick
+            histogram.observe(0.2 if tick in bad_ticks else 0.004)
+            engine.step(tick)
+        log.close()
+        return (tmp_path / f"{label}.jsonl").read_bytes()
+
+    def test_fault_free_arm_emits_nothing(self, tmp_path):
+        assert self._run_arm(tmp_path, "clean", frozenset()) == b""
+
+    def test_faulted_arm_burns_byte_identically(self, tmp_path):
+        bad = frozenset(range(10, 40))      # the injected fault window
+        first = self._run_arm(tmp_path, "fault-a", bad)
+        second = self._run_arm(tmp_path, "fault-b", bad)
+        assert first == second != b""
+        events = [json.loads(line) for line in first.splitlines()]
+        assert [e["kind"] for e in events].count("slo_burn") >= 1
+        burn = next(e for e in events if e["kind"] == "slo_burn")
+        assert burn["ts"] == burn["tick"]   # tick clock, not wall clock

@@ -15,6 +15,7 @@ import json
 import pytest
 
 from repro.obs.events import read_events
+from repro.obs.propagate import read_trace_spans
 from repro.runtime import (
     FaultInjector,
     GatewayConfig,
@@ -141,6 +142,59 @@ class TestChaosServe:
         assert "worker_failover" in kinds
         assert "wal_replay" in kinds
         assert kinds[-1] == "drain_complete"
+
+    def test_trace_trees_complete_across_kill_and_replay(self, tmp_path):
+        """Cross-process tracing gate: every acked update's trace tree is
+        complete — the gateway submit span and at least one worker span
+        share one trace id with explicit parent linkage — even for the
+        shard that was hard-killed and WAL-replayed, and the replay
+        itself emits spans linked to the original traces."""
+        report, _, _, status, gateway = _run_session(
+            tmp_path, kills=[("svc-0", 25)])
+        assert report.accepted == TOTAL
+
+        submit_spans = {}                      # (service, sequence) -> span
+        for span in read_trace_spans(tmp_path / "spans.jsonl"):
+            if span["name"] == "gateway.submit":
+                attrs = span["attrs"]
+                key = (attrs["service"], int(attrs["sequence"]))
+                assert key not in submit_spans   # one admission span each
+                submit_spans[key] = span
+
+        worker_spans = {}                      # (service, sequence) -> spans
+        killed_shard = None
+        for shard_id, shard in status["shards"].items():
+            if shard["respawns"]:
+                killed_shard = shard_id
+            for span in read_trace_spans(tmp_path / shard_id / "spans.jsonl"):
+                assert span["name"] == "worker.update"
+                attrs = span["attrs"]
+                key = (attrs["service"], int(attrs["sequence"]))
+                worker_spans.setdefault(key, []).append(span)
+        assert killed_shard is not None        # the armed kill fired
+
+        # 100% of acked updates: complete tree, one trace id, parented.
+        histories, _ = _fleet()
+        acked = {(sid, seq) for sid in histories
+                 for seq in range(1, UPDATES + 1)}
+        assert set(submit_spans) == acked
+        assert set(worker_spans) == acked
+        for key in acked:
+            root = submit_spans[key]
+            children = worker_spans[key]
+            assert all(c["trace_id"] == root["trace_id"] for c in children)
+            assert all(c["parent_span_id"] == root["span_id"]
+                       for c in children)
+            span_ids = [c["span_id"] for c in children]
+            assert len(set(span_ids)) == len(span_ids)
+
+        # The replayed shard re-emitted spans under the original traces.
+        replayed = [span for spans in worker_spans.values()
+                    for span in spans if span["attrs"]["replay"]]
+        assert replayed
+        assert all(span["attrs"]["shard"] == killed_shard
+                   for span in replayed)
+        assert all(span["attrs"]["incarnation"] >= 1 for span in replayed)
 
     def test_ack_means_journalled_exactly_once(self, tmp_path):
         """Every accepted update is in exactly one WAL record — retries

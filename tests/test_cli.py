@@ -215,6 +215,87 @@ class TestServeCommand:
         assert "drained cleanly" in out
 
 
+def _slo_run_dir(path):
+    """A deterministic run directory exercising the SLO/trace surfaces.
+
+    Everything is tick-clocked and seeded — event timestamps, trace ids,
+    histogram contents — so the rendered console and report are
+    byte-identical across runs and committed as golden files.
+    """
+    from repro.obs.events import EventLog
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.propagate import TraceContext, TraceLog
+    from repro.obs.slo import BurnWindow, SloEngine, SloObjective
+
+    registry = MetricsRegistry()
+    ack = registry.histogram("gateway.ack_seconds")
+    tick_box = [0]
+    log = EventLog(path / "events.jsonl",
+                   clock=lambda: float(tick_box[0]))
+    engine = SloEngine(
+        [SloObjective("ack-p99", "latency", "gateway.ack_seconds",
+                      target=0.99, threshold=0.05, service="svc-0")],
+        registry=registry, events=log,
+        windows=(BurnWindow("fast", short_ticks=5, long_ticks=20,
+                            burn_threshold=10.0),))
+    traces = TraceLog(path / "spans.jsonl")
+    for tick in range(1, 31):
+        tick_box[0] = tick
+        seconds = 0.2 if 10 <= tick < 20 else 0.004   # the fault window
+        context = TraceContext.mint(0, "svc-0", tick)
+        ack.observe(seconds, exemplar=context.trace_id)
+        traces.record("gateway.submit", context, seconds,
+                      service="svc-0", sequence=tick, shard="shard-0",
+                      degraded=False)
+        child = context.child("worker.update", qualifier="0:1")
+        traces.record("worker.update", child, seconds / 2,
+                      parent_span_id=context.span_id, depth=1,
+                      service="svc-0", sequence=tick, shard="shard-0",
+                      incarnation=0, replay=False, duplicate=False)
+        engine.step(tick)
+    registry.counter("gateway.accepted", tenant="default").inc(30)
+    registry.gauge("gateway.queue_depth", shard="shard-0").set(3)
+    wait = registry.histogram("gateway.queue_wait_seconds", shard="shard-0")
+    for value in (0.001, 0.002, 0.004):
+        wait.observe(value)
+    registry.histogram("serving.update_seconds",
+                       service="svc-0").observe(0.004)
+    registry.histogram("serving.update_seconds",
+                       service="svc-1").observe(0.004)
+    log.emit("health_transition", service="svc-1",
+             **{"from": "HEALTHY", "to": "DEGRADED", "tick": 30})
+    registry.dump(path / "metrics.jsonl")
+    log.close()
+    traces.close()
+    return path
+
+
+class TestObsGoldens:
+    """Byte-identical console and report output for a synthetic SLO run."""
+
+    def test_obs_top_once_matches_golden(self, tmp_path, capsys):
+        from pathlib import Path
+
+        directory = _slo_run_dir(tmp_path)
+        assert main(["obs", "top", "--dir", str(directory), "--once"]) == 0
+        golden = (Path(__file__).parent / "golden_obs_top.txt").read_text()
+        assert capsys.readouterr().out == golden
+
+    def test_obs_report_slo_sections_match_golden(self, tmp_path, capsys):
+        from pathlib import Path
+
+        directory = _slo_run_dir(tmp_path)
+        assert main(["obs", "report", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        golden = (Path(__file__).parent /
+                  "golden_obs_report.txt").read_text()
+        assert out == golden
+        # The exemplar drill-down links the p99 to its trace tree.
+        assert "slo status" in out
+        assert "latency exemplars" in out
+        assert "worst gateway.ack_seconds trace:" in out
+
+
 class TestTrafficCommand:
     """The traffic preview is pure planning — no workers — and seeded."""
 
